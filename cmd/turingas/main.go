@@ -1,0 +1,79 @@
+// turingas assembles SASS source files into cubin modules and
+// disassembles cubin modules back to source — the command-line face of
+// the internal/turingas assembler (the paper's TuringAs, Section 5.3).
+//
+// Usage:
+//
+//	turingas -o out.cubin in.sass        assemble
+//	turingas -d in.cubin                 disassemble to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cubin"
+	"repro/internal/turingas"
+)
+
+func main() {
+	out := flag.String("o", "", "output .cubin path (assembly mode)")
+	dis := flag.Bool("d", false, "disassemble a .cubin instead of assembling")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: turingas [-d] [-o out.cubin] file")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	if *dis {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		mod, err := cubin.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range mod.Kernels {
+			src, err := turingas.Disassemble(&mod.Kernels[i])
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(src)
+		}
+		return
+	}
+
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := turingas.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		for _, k := range mod.Kernels {
+			fmt.Printf("kernel %s: %d instructions, %d regs, %d B smem, %d B params\n",
+				k.Name, len(k.Code), k.NumRegs, k.SmemBytes, k.ParamBytes)
+		}
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if _, err := mod.WriteTo(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d kernels)\n", *out, len(mod.Kernels))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "turingas:", err)
+	os.Exit(1)
+}

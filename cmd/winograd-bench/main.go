@@ -1,0 +1,68 @@
+// winograd-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	winograd-bench [-waves N] [-quick] [-markdown] [experiment ...]
+//
+// With no arguments it lists the available experiments; "all" runs the
+// whole evaluation in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	waves := flag.Int("waves", 4, "occupancy-waves to simulate per sample")
+	quick := flag.Bool("quick", false, "reduced layer/batch sweep")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Println("experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("  all        run everything in paper order")
+		return
+	}
+
+	ctx := bench.NewCtx()
+	ctx.Waves = *waves
+	ctx.Quick = *quick
+
+	var todo []bench.Experiment
+	for _, id := range args {
+		if id == "all" {
+			todo = bench.All()
+			break
+		}
+		e, ok := bench.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (run with no arguments for the list)\n", id)
+			os.Exit(2)
+		}
+		todo = append(todo, e)
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		t, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.Format())
+		}
+		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,84 @@
+// Batched GEMM: the paper's Section 2.3 observes that batched GEMM is a
+// sub-problem of Winograd convolution and that all of its Section-4.3
+// techniques apply to it. This example runs the 16-batched 64x32xK SASS
+// GEMM kernel (built from the same EWMM machinery as the Winograd main
+// loop) on the simulator, verifies it against a CPU oracle, and compares
+// its FFMA density with the Winograd main loop's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+func main() {
+	kdim := flag.Int("k", 64, "reduction dimension (multiple of 8)")
+	flag.Parse()
+
+	p := kernels.GemmProblem{Batch: 16, M: 64, N: 32, K: *kdim}
+	kern, err := kernels.GenerateBatchedGEMM(kernels.Ours(), p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated batched GEMM kernel: %d instructions, %d registers, %d B smem\n",
+		len(kern.Code), kern.NumRegs, kern.SmemBytes)
+
+	sim := gpu.NewSim(gpu.RTX2070())
+	sim.HazardCheck = true
+	rng := tensor.NewRNG(3)
+	a := make([]float32, p.Batch*p.K*p.M)
+	b := make([]float32, p.Batch*p.K*p.N)
+	for i := range a {
+		a[i] = rng.Float32()
+	}
+	for i := range b {
+		b[i] = rng.Float32()
+	}
+	aBuf := sim.Alloc(len(a)*4 + 1<<20)
+	bBuf := sim.Alloc(len(b)*4 + 1<<20)
+	cBuf := sim.Alloc(p.Batch * p.M * p.N * 4)
+	sim.WriteF32(aBuf.Addr, a)
+	sim.WriteF32(bBuf.Addr, b)
+
+	gx, gy, gz := kernels.GemmGrid(p)
+	m, err := sim.Launch(kern, gpu.LaunchOpts{
+		Grid: gx, GridY: gy, GridZ: gz, Block: 256,
+		Params: []uint32{aBuf.Addr, bBuf.Addr, cBuf.Addr},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify against the CPU oracle.
+	got := sim.ReadF32(cBuf.Addr, p.Batch*p.M*p.N)
+	var maxErr float64
+	for bt := 0; bt < p.Batch; bt++ {
+		for mi := 0; mi < p.M; mi++ {
+			for n := 0; n < p.N; n++ {
+				var acc float32
+				for k := 0; k < p.K; k++ {
+					acc += a[(bt*p.K+k)*p.M+mi] * b[(bt*p.K+k)*p.N+n]
+				}
+				d := float64(got[(bt*p.M+mi)*p.N+n] - acc)
+				if d < 0 {
+					d = -d
+				}
+				if d > maxErr {
+					maxErr = d
+				}
+			}
+		}
+	}
+	fmt.Printf("problem: %d batches of C = A^T x B, %dx%dx%d\n", p.Batch, p.M, p.N, p.K)
+	fmt.Printf("max abs error vs CPU oracle: %.2e (hazard violations: %d)\n", maxErr, len(m.HazardViolations))
+	fmt.Printf("simulated %d cycles, SOL %.1f%%, FFMA density %.1f%% of issued instructions\n",
+		m.Cycles, m.SOL()*100, 100*float64(m.FFMAs)/float64(m.Issued))
+	fmt.Println("\nthe Winograd main loop reuses this exact EWMM structure but adds the input")
+	fmt.Println("transform, padding-mask handling and the transformed-tile store phase —")
+	fmt.Println("the lower computational intensity the paper calls out in Section 2.3.")
+}

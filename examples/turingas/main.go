@@ -1,0 +1,94 @@
+// The TuringAs workflow end to end: write a SASS kernel by hand, assemble
+// it, run it on the simulated Turing GPU, and inspect the disassembly and
+// launch metrics — the development loop the paper's Section 5 enables.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gpu"
+	"repro/internal/turingas"
+)
+
+// saxpy computes y[i] = a*x[i] + y[i] for i < n. Note the SASS idioms the
+// paper documents: the control-code prefix wait:read:write:yield:stall on
+// every instruction, dependency barriers on the variable-latency S2R/LDG,
+// and a predicated tail (@P0) instead of a divergent branch.
+const saxpy = `
+.kernel saxpy
+.params 16
+.alias xptr, R5
+.alias yptr, R6
+--:-:0:-:1  S2R R0, SR_TID.X;
+--:-:1:-:1  S2R R1, SR_CTAID.X;
+--:-:-:Y:6  MOV R2, c[0x0][0x4];           # blockDim.x
+03:-:-:Y:6  IMAD R3, R1, R2, R0;           # global id
+--:-:-:Y:6  SHF.L R4, R3, 0x2;             # byte offset
+--:-:-:Y:6  MOV xptr, c[0x0][0x160];
+--:-:-:Y:6  MOV yptr, c[0x0][0x164];
+--:-:-:Y:6  IADD3 xptr, xptr, R4, RZ;
+--:-:-:Y:6  IADD3 yptr, yptr, R4, RZ;
+--:-:-:Y:6  ISETP.LT P0, R3, c[0x0][0x16c];
+--:-:0:-:2  @P0 LDG R8, [xptr];
+--:-:1:-:2  @P0 LDG R9, [yptr];
+--:-:-:Y:6  MOV R10, c[0x0][0x168];        # a (float bits)
+03:-:-:Y:4  FFMA R11, R8, R10, R9;
+--:3:-:-:2  @P0 STG [yptr], R11;
+--:-:-:Y:5  EXIT;
+.endkernel
+`
+
+func main() {
+	kernel, err := turingas.AssembleKernel(saxpy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled %q: %d instructions, %d registers\n\n", kernel.Name, len(kernel.Code), kernel.NumRegs)
+
+	dis, err := turingas.Disassemble(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("disassembly (as decoded from the 128-bit encoding):")
+	fmt.Println(dis)
+
+	sim := gpu.NewSim(gpu.RTX2070())
+	sim.HazardCheck = true
+	const n = 1000
+	x := sim.Alloc(4 * 1024)
+	y := sim.Alloc(4 * 1024)
+	xs := make([]float32, 1024)
+	ys := make([]float32, 1024)
+	for i := range xs {
+		xs[i] = float32(i)
+		ys[i] = 1
+	}
+	sim.WriteF32(x.Addr, xs)
+	sim.WriteF32(y.Addr, ys)
+
+	aBits := uint32(0x40000000) // 2.0f
+	m, err := sim.Launch(kernel, gpu.LaunchOpts{
+		Grid: 1024 / 256, Block: 256,
+		Params: []uint32{x.Addr, y.Addr, aBits, n},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := sim.ReadF32(y.Addr, 1024)
+	ok := true
+	for i := range got {
+		want := float32(1)
+		if i < n {
+			want = 2*float32(i) + 1
+		}
+		if got[i] != want {
+			ok = false
+			fmt.Printf("MISMATCH y[%d] = %v, want %v\n", i, got[i], want)
+			break
+		}
+	}
+	fmt.Printf("result correct: %v\n", ok)
+	fmt.Printf("simulated %d cycles; %d LDG, %d STG, %d FFMA warp instructions; hazard violations: %d\n",
+		m.Cycles, m.LDGCount, m.STGCount, m.FFMAs, len(m.HazardViolations))
+}

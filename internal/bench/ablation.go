@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+)
+
+// runAblation measures the design choices DESIGN.md calls out, one knob
+// at a time from the paper's configuration: P2R predicate packing
+// (Section 3.5), the bk=64 cache block (Section 3.3), and — as a combined
+// reference — the full cuDNN-like configuration.
+func runAblation(c *Ctx) (*Table, error) {
+	dev := gpu.RTX2070()
+	l := Layers()[2] // Conv4: mid-sized, sensitive to all knobs
+	n := 32
+	if c.Quick {
+		l = Layers()[0]
+	}
+	p := l.Problem(n)
+
+	variants := []struct {
+		name string
+		cfg  kernels.Config
+		note string
+	}{
+		{"paper config (bk64, P2R, Natural, LDG8, STS6)", kernels.Ours(), "baseline"},
+		{"no P2R (recompute masks per iteration)", func() kernels.Config {
+			c := kernels.Ours()
+			c.UseP2R = false
+			return c
+		}(), "Section 3.5"},
+		{"yield every 7 (cuDNN strategy)", func() kernels.Config {
+			c := kernels.Ours()
+			c.YieldEvery = 7
+			return c
+		}(), "Section 6.1"},
+		{"LDG every 2 FFMAs (cuDNN spacing)", func() kernels.Config {
+			c := kernels.Ours()
+			c.LDGGap = 2
+			return c
+		}(), "Section 6.2"},
+		{"STS every 2 floats (cuDNN spacing)", func() kernels.Config {
+			c := kernels.Ours()
+			c.STSGap = 2
+			return c
+		}(), "Section 6.2"},
+		{"bk=32 (cuDNN blocking, all else ours)", kernels.Config{
+			BK: 32, YieldEvery: 0, LDGGap: 8, STSGap: 6, UseP2R: true,
+			DeclaredSmem: 48 * 1024,
+		}, "Section 3.3"},
+		{"full cuDNN-like configuration", kernels.CuDNNLike(), "all knobs"},
+	}
+
+	t := &Table{ID: "ablation", Title: fmt.Sprintf("Design-choice ablation on %s, %s (full kernel)", l.Tag(n), dev.Name),
+		Header: []string{"Variant", "time (ms)", "vs paper config", "main SOL", "paper ref"}}
+	var base float64
+	for _, v := range variants {
+		full, err := c.KernelSample(dev, v.cfg, p, false)
+		if err != nil {
+			return nil, err
+		}
+		main, err := c.KernelSample(dev, v.cfg, p, true)
+		if err != nil {
+			return nil, err
+		}
+		// bk=32 variants run twice the blocks for the same output.
+		secs := full.Seconds(dev)
+		if base == 0 {
+			base = secs
+		}
+		t.AddRow(v.name, fmt.Sprintf("%.3f", secs*1e3), fmt.Sprintf("%.3fx", secs/base),
+			pct(main.SOL), v.note)
+	}
+	t.Note("each row changes one knob from the paper's configuration; the last row combines them all")
+	return t, nil
+}

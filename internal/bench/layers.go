@@ -1,0 +1,47 @@
+// Package bench is the reproduction harness: one experiment per table and
+// figure in the paper's evaluation, each returning a formatted table next
+// to the paper's reported values. Experiments that measure the paper's
+// kernel run it on the gpu simulator (sampled waves on one SM, then
+// wave-quantized extrapolation to the full device); the cuDNN algorithm
+// baselines come from internal/model.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/model"
+)
+
+// Layer is one ResNet 3x3 convolution layer (paper Table 1).
+type Layer struct {
+	Name string
+	C, K int
+	HW   int // square output size
+}
+
+// Layers returns all 3x3 convolutional layers in ResNet (Table 1).
+func Layers() []Layer {
+	return []Layer{
+		{Name: "Conv2", C: 64, K: 64, HW: 56},
+		{Name: "Conv3", C: 128, K: 128, HW: 28},
+		{Name: "Conv4", C: 256, K: 256, HW: 14},
+		{Name: "Conv5", C: 512, K: 512, HW: 7},
+	}
+}
+
+// Batches are the batch sizes the paper sweeps.
+func Batches() []int { return []int{32, 64, 96, 128} }
+
+// Problem converts a layer and batch size into a kernel problem.
+func (l Layer) Problem(n int) kernels.Problem {
+	return kernels.Problem{C: l.C, K: l.K, N: n, H: l.HW, W: l.HW}
+}
+
+// Shape converts a layer and batch size into a model shape.
+func (l Layer) Shape(n int) model.Shape {
+	return model.Shape{C: l.C, K: l.K, H: l.HW, W: l.HW, N: n}
+}
+
+// Tag renders the paper's ConvxNn naming, e.g. Conv2N32.
+func (l Layer) Tag(n int) string { return fmt.Sprintf("%sN%d", l.Name, n) }

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+)
+
+// Ctx carries experiment-wide settings and the simulation cache (many
+// figures share the same kernel samples).
+type Ctx struct {
+	// Waves is how many occupancy-waves of blocks to sample per SM; the
+	// first wave warms the L2, later waves approximate steady state.
+	Waves int
+	// Quick restricts experiments to a reduced layer/batch sweep (used
+	// by tests and -short benchmarks).
+	Quick bool
+
+	cache map[string]*Sample
+}
+
+// NewCtx returns a context with default sampling depth.
+func NewCtx() *Ctx { return &Ctx{Waves: 4} }
+
+// Sample is one simulated kernel measurement.
+type Sample struct {
+	CyclesPerWave float64
+	FLOPsPerWave  float64
+	SOL           float64
+	Occ           gpu.Occupancy
+	TotalBlocks   int
+	Metrics       *gpu.Metrics
+}
+
+func (c *Ctx) waves() int {
+	if c.Waves <= 0 {
+		return 4
+	}
+	return c.Waves
+}
+
+// KernelSample simulates `waves` occupancy-waves of the kernel on one SM
+// and returns per-wave steady-state numbers. The sampled blocks are
+// strided across the grid so the SM sees the L2 locality of the real
+// concurrent block mix (right for end-to-end comparisons).
+func (c *Ctx) KernelSample(dev gpu.Device, cfg kernels.Config, p kernels.Problem, mainOnly bool) (*Sample, error) {
+	return c.sample(dev, cfg, p, mainOnly, false)
+}
+
+// KernelSampleHot samples sequential blocks instead: maximal L2 reuse,
+// the compute-bound steady state the paper's main-loop scheduling studies
+// (Figures 7-9) measure.
+func (c *Ctx) KernelSampleHot(dev gpu.Device, cfg kernels.Config, p kernels.Problem, mainOnly bool) (*Sample, error) {
+	return c.sample(dev, cfg, p, mainOnly, true)
+}
+
+func (c *Ctx) sample(dev gpu.Device, cfg kernels.Config, p kernels.Problem, mainOnly, hot bool) (*Sample, error) {
+	key := fmt.Sprintf("%s|%+v|%+v|%v|%v|%d", dev.Name, cfg, p, mainOnly, hot, c.waves())
+	if c.cache == nil {
+		c.cache = map[string]*Sample{}
+	}
+	if s, ok := c.cache[key]; ok {
+		return s, nil
+	}
+	k, err := kernels.Generate(cfg, p, mainOnly)
+	if err != nil {
+		return nil, err
+	}
+	occ, err := dev.OccupancyFor(256, k.NumRegs, k.SmemBytes)
+	if err != nil {
+		return nil, err
+	}
+	res, err := kernels.RunConvSampled(dev, cfg, p, occ.BlocksPerSM*c.waves(), mainOnly, hot)
+	if err != nil {
+		return nil, err
+	}
+	gx, gy, gz := kernels.GridFor(cfg, p)
+	s := &Sample{
+		CyclesPerWave: float64(res.Main.Cycles) / float64(c.waves()),
+		FLOPsPerWave:  res.Main.FLOPs() / float64(c.waves()) / float64(res.Main.SimSMs),
+		SOL:           res.Main.SOL(),
+		Occ:           occ,
+		TotalBlocks:   gx * gy * gz,
+		Metrics:       res.Main,
+	}
+	c.cache[key] = s
+	return s, nil
+}
+
+// Seconds extrapolates a sample to full-device runtime via wave
+// quantization: ceil(blocks / (SMs * blocksPerSM)) waves of the sampled
+// per-wave cycle count.
+func (s *Sample) Seconds(dev gpu.Device) float64 {
+	waves := math.Ceil(float64(s.TotalBlocks) / float64(dev.SMs*s.Occ.BlocksPerSM))
+	return s.CyclesPerWave * waves / (dev.ClockGHz * 1e9)
+}
+
+// DeviceTFLOPS is the achieved whole-device math throughput during the
+// sampled steady state (the y-axis of Figures 7-9): every SM sustains the
+// sampled per-wave FLOPs over the per-wave cycles.
+func (s *Sample) DeviceTFLOPS(dev gpu.Device) float64 {
+	perSM := s.FLOPsPerWave / (s.CyclesPerWave / (dev.ClockGHz * 1e9))
+	return perSM * float64(dev.SMs) / 1e12
+}
+
+// EffectiveTFLOPS is direct-convolution-equivalent throughput for a full
+// problem (FLOPs of the direct algorithm over the extrapolated runtime).
+func (s *Sample) EffectiveTFLOPS(dev gpu.Device, p kernels.Problem) float64 {
+	return p.FLOPs() / s.Seconds(dev) / 1e12
+}
+
+// layers and batches honouring Quick mode.
+func (c *Ctx) layers() []Layer {
+	if c.Quick {
+		return Layers()[:1]
+	}
+	return Layers()
+}
+
+func (c *Ctx) batches() []int {
+	if c.Quick {
+		return Batches()[:1]
+	}
+	return Batches()
+}

@@ -1,0 +1,309 @@
+// Package conv implements batched 2-D convolution baselines: a direct
+// (reference) convolution, an im2col+GEMM convolution, and an FFT-based
+// convolution. These are the functional counterparts of the cuDNN
+// algorithms the paper compares against (IMPLICIT_GEMM / GEMM / FFT /
+// FFT_TILING), and the direct implementation is the ground-truth oracle
+// for every Winograd correctness test in this repository.
+//
+// Following the convention of CNN frameworks (and the paper's Equation 4),
+// "convolution" here means cross-correlation:
+//
+//	O[k,y,x,n] = sum_{c,r,s} I[c, y*stride+r-pad, x*stride+s-pad, n] * F[c,r,s,k]
+package conv
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/fft"
+	"repro/internal/gemm"
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+// Params describes the convolution geometry.
+type Params struct {
+	Stride int // spatial stride (both dimensions); 0 means 1
+	Pad    int // symmetric zero padding (both dimensions)
+}
+
+func (p Params) stride() int {
+	if p.Stride <= 0 {
+		return 1
+	}
+	return p.Stride
+}
+
+// OutputShape returns the logical (N, K, OH, OW) output shape for an input
+// of shape in and filter of shape f under p.
+func OutputShape(in tensor.Shape4, f tensor.FilterShape, p Params) (n, k, oh, ow int) {
+	s := p.stride()
+	oh = (in.H+2*p.Pad-f.R)/s + 1
+	ow = (in.W+2*p.Pad-f.S)/s + 1
+	return in.N, f.K, oh, ow
+}
+
+func checkShapes(in tensor.Shape4, f tensor.FilterShape, p Params) error {
+	if in.C != f.C {
+		return fmt.Errorf("conv: channel mismatch: input C=%d filter C=%d", in.C, f.C)
+	}
+	_, _, oh, ow := OutputShape(in, f, p)
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("conv: empty output (%dx%d) for input %dx%d filter %dx%d pad %d",
+			oh, ow, in.H, in.W, f.R, f.S, p.Pad)
+	}
+	return nil
+}
+
+// Direct computes the convolution with quadruple loops, layout-agnostic.
+// Output layout is NCHW (with K in the channel slot). It is deliberately
+// simple: this function defines correct behaviour for the whole repo.
+func Direct(in, flt *tensor.Tensor, p Params) (*tensor.Tensor, error) {
+	is := in.ImageShape()
+	fs := flt.FilterShapeOf()
+	if err := checkShapes(is, fs, p); err != nil {
+		return nil, err
+	}
+	_, _, oh, ow := OutputShape(is, fs, p)
+	st := p.stride()
+	out := tensor.New(tensor.NCHW, is.N, fs.K, oh, ow)
+	for n := 0; n < is.N; n++ {
+		for k := 0; k < fs.K; k++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					var acc float32
+					for c := 0; c < is.C; c++ {
+						for r := 0; r < fs.R; r++ {
+							iy := y*st + r - p.Pad
+							if iy < 0 || iy >= is.H {
+								continue
+							}
+							for s := 0; s < fs.S; s++ {
+								ix := x*st + s - p.Pad
+								if ix < 0 || ix >= is.W {
+									continue
+								}
+								acc += in.ImageAt(n, c, iy, ix) * flt.FilterAt(k, c, r, s)
+							}
+						}
+					}
+					out.Set(n, k, y, x, acc)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// DirectParallel computes the same result as Direct, parallelized over
+// (n, k) pairs. Used when the reference is needed on larger problems.
+func DirectParallel(in, flt *tensor.Tensor, p Params) (*tensor.Tensor, error) {
+	is := in.ImageShape()
+	fs := flt.FilterShapeOf()
+	if err := checkShapes(is, fs, p); err != nil {
+		return nil, err
+	}
+	_, _, oh, ow := OutputShape(is, fs, p)
+	st := p.stride()
+	out := tensor.New(tensor.NCHW, is.N, fs.K, oh, ow)
+	jobs := is.N * fs.K
+	workers := runtime.GOMAXPROCS(0)
+	if workers > jobs {
+		workers = jobs
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		j := int(next)
+		next++
+		return j
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := take()
+				if j >= jobs {
+					return
+				}
+				n, k := j/fs.K, j%fs.K
+				for y := 0; y < oh; y++ {
+					for x := 0; x < ow; x++ {
+						var acc float32
+						for c := 0; c < is.C; c++ {
+							for r := 0; r < fs.R; r++ {
+								iy := y*st + r - p.Pad
+								if iy < 0 || iy >= is.H {
+									continue
+								}
+								for s := 0; s < fs.S; s++ {
+									ix := x*st + s - p.Pad
+									if ix < 0 || ix >= is.W {
+										continue
+									}
+									acc += in.ImageAt(n, c, iy, ix) * flt.FilterAt(k, c, r, s)
+								}
+							}
+						}
+						out.Set(n, k, y, x, acc)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// Im2col computes the convolution by lowering each image to a
+// (C*R*S) x (OH*OW) matrix and multiplying by the (K) x (C*R*S) filter
+// matrix — the GEMM algorithm in the paper's comparison. Output is NCHW.
+func Im2col(in, flt *tensor.Tensor, p Params) (*tensor.Tensor, error) {
+	is := in.ImageShape()
+	fs := flt.FilterShapeOf()
+	if err := checkShapes(is, fs, p); err != nil {
+		return nil, err
+	}
+	_, _, oh, ow := OutputShape(is, fs, p)
+	st := p.stride()
+	out := tensor.New(tensor.NCHW, is.N, fs.K, oh, ow)
+
+	// Filter as K x (C*R*S), row-major.
+	kdim := fs.C * fs.R * fs.S
+	fm := make([]float32, fs.K*kdim)
+	for k := 0; k < fs.K; k++ {
+		idx := k * kdim
+		for c := 0; c < fs.C; c++ {
+			for r := 0; r < fs.R; r++ {
+				for s := 0; s < fs.S; s++ {
+					fm[idx] = flt.FilterAt(k, c, r, s)
+					idx++
+				}
+			}
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > is.N {
+		workers = is.N
+	}
+	var wg sync.WaitGroup
+	per := (is.N + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		n0 := w * per
+		n1 := n0 + per
+		if n1 > is.N {
+			n1 = is.N
+		}
+		if n0 >= n1 {
+			break
+		}
+		wg.Add(1)
+		go func(n0, n1 int) {
+			defer wg.Done()
+			cols := make([]float32, kdim*oh*ow)
+			prod := make([]float32, fs.K*oh*ow)
+			for n := n0; n < n1; n++ {
+				// Lower image n.
+				row := 0
+				for c := 0; c < fs.C; c++ {
+					for r := 0; r < fs.R; r++ {
+						for s := 0; s < fs.S; s++ {
+							base := row * oh * ow
+							for y := 0; y < oh; y++ {
+								iy := y*st + r - p.Pad
+								for x := 0; x < ow; x++ {
+									ix := x*st + s - p.Pad
+									var v float32
+									if iy >= 0 && iy < is.H && ix >= 0 && ix < is.W {
+										v = in.ImageAt(n, c, iy, ix)
+									}
+									cols[base+y*ow+x] = v
+								}
+							}
+							row++
+						}
+					}
+				}
+				gemm.Blocked(fm, cols, prod, fs.K, kdim, oh*ow)
+				copy(out.Data[n*fs.K*oh*ow:(n+1)*fs.K*oh*ow], prod)
+			}
+		}(n0, n1)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// FFT computes the convolution in the frequency domain: each input channel
+// and each filter is transformed once, products are accumulated over
+// channels per (n, k) in the spectrum, and one inverse transform per
+// (n, k) recovers the output. Output is NCHW. Requires stride 1.
+func FFT(in, flt *tensor.Tensor, p Params) (*tensor.Tensor, error) {
+	is := in.ImageShape()
+	fs := flt.FilterShapeOf()
+	if err := checkShapes(is, fs, p); err != nil {
+		return nil, err
+	}
+	if p.stride() != 1 {
+		return nil, fmt.Errorf("conv: FFT convolution requires stride 1, got %d", p.stride())
+	}
+	_, _, oh, ow := OutputShape(is, fs, p)
+	ph := fft.NextPow2(is.H + 2*p.Pad)
+	pw := fft.NextPow2(is.W + 2*p.Pad)
+	plane := ph * pw
+
+	// Transform all filters: spectra[k][c] as one slab.
+	fltSpec := make([]complex128, fs.K*fs.C*plane)
+	par.For(fs.K*fs.C, 0, func(j int) {
+		k, c := j/fs.C, j%fs.C
+		buf := fltSpec[(k*fs.C+c)*plane : (k*fs.C+c+1)*plane]
+		for r := 0; r < fs.R; r++ {
+			for s := 0; s < fs.S; s++ {
+				buf[r*pw+s] = complex(float64(flt.FilterAt(k, c, r, s)), 0)
+			}
+		}
+		fft.Forward2D(buf, ph, pw)
+	})
+
+	out := tensor.New(tensor.NCHW, is.N, fs.K, oh, ow)
+	par.For(is.N, 0, func(n int) {
+		// Transform each channel of image n once.
+		imgSpec := make([]complex128, is.C*plane)
+		for c := 0; c < is.C; c++ {
+			buf := imgSpec[c*plane : (c+1)*plane]
+			for y := 0; y < is.H; y++ {
+				for x := 0; x < is.W; x++ {
+					buf[(y+p.Pad)*pw+(x+p.Pad)] = complex(float64(in.ImageAt(n, c, y, x)), 0)
+				}
+			}
+			fft.Forward2D(buf, ph, pw)
+		}
+		acc := make([]complex128, plane)
+		for k := 0; k < fs.K; k++ {
+			for i := range acc {
+				acc[i] = 0
+			}
+			for c := 0; c < is.C; c++ {
+				ib := imgSpec[c*plane : (c+1)*plane]
+				fb := fltSpec[(k*fs.C+c)*plane : (k*fs.C+c+1)*plane]
+				for i := range acc {
+					// Conjugate filter spectrum: correlation, not convolution.
+					acc[i] += ib[i] * complex(real(fb[i]), -imag(fb[i]))
+				}
+			}
+			fft.Inverse2D(acc, ph, pw)
+			base := (n*fs.K + k) * oh * ow
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					out.Data[base+y*ow+x] = float32(real(acc[y*pw+x]))
+				}
+			}
+		}
+	})
+	return out, nil
+}

@@ -1,0 +1,178 @@
+// Package cudart is a miniature CUDA-like execution model for Go: kernels
+// are functions run by a grid of thread blocks, each block owning shared
+// memory and a __syncthreads barrier, with threads multiplexed onto
+// goroutines. It exists so the paper's Algorithm 1 can be expressed
+// thread-for-thread at the CUDA-C level (internal/cudart/winograd.go) and
+// validated independently of the SASS path — the same role the paper's
+// CUDA prototype played before the TuringAs rewrite.
+package cudart
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Dim3 is a 3-component launch dimension.
+type Dim3 struct {
+	X, Y, Z int
+}
+
+func (d Dim3) count() int {
+	x, y, z := d.X, d.Y, d.Z
+	if x == 0 {
+		x = 1
+	}
+	if y == 0 {
+		y = 1
+	}
+	if z == 0 {
+		z = 1
+	}
+	return x * y * z
+}
+
+// TCtx is the per-thread view a kernel function receives.
+type TCtx struct {
+	Tid      int  // threadIdx.x (1-D blocks)
+	Ctaid    Dim3 // blockIdx
+	BlockDim int
+	GridDim  Dim3
+	block    *blockCtx
+}
+
+// Shared returns the block's shared float32 arena (allocated per block at
+// launch, zeroed).
+func (t *TCtx) Shared() []float32 { return t.block.shared }
+
+// SyncThreads blocks until every live thread of the block reaches the
+// barrier — __syncthreads(). Calling it with divergent thread subsets
+// deadlocks, exactly like the real thing; the launcher detects the
+// deadlock and panics with a diagnostic rather than hanging.
+func (t *TCtx) SyncThreads() {
+	t.block.barrier()
+}
+
+// Kernel is a thread function.
+type Kernel func(t *TCtx)
+
+type blockCtx struct {
+	shared  []float32
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiting int
+	total   int
+	phase   int
+}
+
+func (b *blockCtx) barrier() {
+	b.mu.Lock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.total {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for b.phase == phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// LaunchConfig describes a kernel launch.
+type LaunchConfig struct {
+	Grid         Dim3
+	BlockThreads int // threads per block (1-D)
+	SharedFloats int // shared-memory floats per block
+}
+
+// Launch runs the kernel over the whole grid. Blocks execute concurrently
+// up to GOMAXPROCS worker slots; threads within a block are goroutines so
+// SyncThreads works. Panics inside kernel threads propagate.
+func Launch(cfg LaunchConfig, k Kernel) error {
+	if cfg.BlockThreads <= 0 {
+		return fmt.Errorf("cudart: block must have threads")
+	}
+	blocks := cfg.Grid.count()
+	gx := cfg.Grid.X
+	if gx == 0 {
+		gx = 1
+	}
+	gy := cfg.Grid.Y
+	if gy == 0 {
+		gy = 1
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > blocks {
+		workers = blocks
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	panics := make(chan any, blocks)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range ch {
+				runBlock(cfg, k, b, gx, gy, panics)
+			}
+		}()
+	}
+	for b := 0; b < blocks; b++ {
+		ch <- b
+	}
+	close(ch)
+	wg.Wait()
+	select {
+	case p := <-panics:
+		return fmt.Errorf("cudart: kernel panic: %v", p)
+	default:
+		return nil
+	}
+}
+
+func runBlock(cfg LaunchConfig, k Kernel, b, gx, gy int, panics chan<- any) {
+	blk := &blockCtx{
+		shared: make([]float32, cfg.SharedFloats),
+		total:  cfg.BlockThreads,
+	}
+	blk.cond = sync.NewCond(&blk.mu)
+	ctaid := Dim3{X: b % gx, Y: (b / gx) % gy, Z: b / (gx * gy)}
+
+	var tw sync.WaitGroup
+	for tid := 0; tid < cfg.BlockThreads; tid++ {
+		tw.Add(1)
+		go func(tid int) {
+			defer tw.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					select {
+					case panics <- p:
+					default:
+					}
+					// Release peers stuck at the barrier.
+					blk.mu.Lock()
+					blk.total--
+					if blk.waiting == blk.total && blk.total > 0 {
+						blk.waiting = 0
+						blk.phase++
+						blk.cond.Broadcast()
+					}
+					blk.mu.Unlock()
+				}
+			}()
+			k(&TCtx{
+				Tid:      tid,
+				Ctaid:    ctaid,
+				BlockDim: cfg.BlockThreads,
+				GridDim:  cfg.Grid,
+				block:    blk,
+			})
+		}(tid)
+	}
+	tw.Wait()
+}

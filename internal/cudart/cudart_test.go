@@ -1,0 +1,145 @@
+package cudart
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/conv"
+	"repro/internal/tensor"
+)
+
+func TestLaunchRunsEveryThread(t *testing.T) {
+	var count int64
+	err := Launch(LaunchConfig{Grid: Dim3{X: 3, Y: 2}, BlockThreads: 64}, func(tc *TCtx) {
+		atomic.AddInt64(&count, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3*2*64 {
+		t.Fatalf("ran %d threads, want %d", count, 3*2*64)
+	}
+}
+
+func TestCtaidDecomposition(t *testing.T) {
+	seen := make([]int64, 12)
+	err := Launch(LaunchConfig{Grid: Dim3{X: 2, Y: 3, Z: 2}, BlockThreads: 32}, func(tc *TCtx) {
+		if tc.Tid == 0 {
+			idx := tc.Ctaid.X + 2*(tc.Ctaid.Y+3*tc.Ctaid.Z)
+			atomic.AddInt64(&seen[idx], 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range seen {
+		if v != 1 {
+			t.Fatalf("block %d ran %d times", i, v)
+		}
+	}
+}
+
+func TestSharedMemoryAndBarrier(t *testing.T) {
+	// Parallel reduction: needs working __syncthreads and per-block
+	// shared memory.
+	const threads = 128
+	results := make([]float32, 4)
+	err := Launch(LaunchConfig{Grid: Dim3{X: 4}, BlockThreads: threads, SharedFloats: threads},
+		func(tc *TCtx) {
+			sm := tc.Shared()
+			sm[tc.Tid] = float32(tc.Tid + 1)
+			tc.SyncThreads()
+			for stride := threads / 2; stride > 0; stride /= 2 {
+				if tc.Tid < stride {
+					sm[tc.Tid] += sm[tc.Tid+stride]
+				}
+				tc.SyncThreads()
+			}
+			if tc.Tid == 0 {
+				results[tc.Ctaid.X] = sm[0]
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float32(threads * (threads + 1) / 2)
+	for b, v := range results {
+		if v != want {
+			t.Fatalf("block %d sum = %v, want %v", b, v, want)
+		}
+	}
+}
+
+func TestBarrierReusableAcrossPhases(t *testing.T) {
+	const threads = 64
+	var bad int64
+	err := Launch(LaunchConfig{Grid: Dim3{X: 1}, BlockThreads: threads, SharedFloats: 1},
+		func(tc *TCtx) {
+			sm := tc.Shared()
+			for phase := 0; phase < 10; phase++ {
+				if tc.Tid == 0 {
+					sm[0] = float32(phase)
+				}
+				tc.SyncThreads()
+				if sm[0] != float32(phase) {
+					atomic.AddInt64(&bad, 1)
+				}
+				tc.SyncThreads()
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatalf("%d barrier phase violations", bad)
+	}
+}
+
+func TestKernelPanicSurfaces(t *testing.T) {
+	err := Launch(LaunchConfig{Grid: Dim3{X: 1}, BlockThreads: 32}, func(tc *TCtx) {
+		if tc.Tid == 5 {
+			panic("boom")
+		}
+	})
+	if err == nil {
+		t.Fatal("expected the kernel panic to surface as an error")
+	}
+}
+
+func TestWinogradConvMatchesDirect(t *testing.T) {
+	for _, tc := range []struct{ C, K, N, H, W int }{
+		{8, 64, 32, 4, 4},
+		{16, 64, 32, 6, 6},
+		{8, 128, 32, 4, 4},
+		{8, 64, 64, 4, 4},
+		{8, 64, 32, 7, 7}, // Conv5-style odd output
+	} {
+		in := tensor.NewImage(tensor.CHWN, tensor.Shape4{N: tc.N, C: tc.C, H: tc.H, W: tc.W})
+		in.FillRandom(uint64(tc.C * tc.K))
+		flt := tensor.NewFilter(tensor.CRSK, tensor.FilterShape{K: tc.K, C: tc.C, R: 3, S: 3})
+		flt.FillRandom(uint64(tc.K + tc.N))
+		got, err := WinogradConv(in, flt)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		want, err := conv.DirectParallel(in, flt, conv.Params{Pad: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxRelDiff(want, got.ToLayout(tensor.NCHW)); d > 2e-4 {
+			t.Fatalf("%+v: cudart winograd differs from direct by %v", tc, d)
+		}
+	}
+}
+
+func TestWinogradConvValidation(t *testing.T) {
+	nchw := tensor.NewImage(tensor.NCHW, tensor.Shape4{N: 32, C: 8, H: 4, W: 4})
+	flt := tensor.NewFilter(tensor.CRSK, tensor.FilterShape{K: 64, C: 8, R: 3, S: 3})
+	if _, err := WinogradConv(nchw, flt); err == nil {
+		t.Fatal("NCHW input should be rejected")
+	}
+	in := tensor.NewImage(tensor.CHWN, tensor.Shape4{N: 16, C: 8, H: 4, W: 4})
+	if _, err := WinogradConv(in, flt); err == nil {
+		t.Fatal("N=16 should be rejected")
+	}
+}

@@ -1,0 +1,159 @@
+// Package fft provides an iterative radix-2 complex FFT, 2-D transforms,
+// and frequency-domain 2-D cross-correlation. It is the substrate for the
+// FFT-based convolution baseline (cuDNN's FFT and FFT_TILING algorithms in
+// the paper's Figures 12-14).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Forward computes the in-place forward DFT of x, whose length must be a
+// power of two.
+func Forward(x []complex128) {
+	transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT of x (including the 1/n
+// scaling), whose length must be a power of two.
+func Inverse(x []complex128) {
+	transform(x, true)
+	n := float64(len(x))
+	for i := range x {
+		x[i] = complex(real(x[i])/n, imag(x[i])/n)
+	}
+}
+
+// transform is the shared iterative Cooley-Tukey butterfly driver.
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wStep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for off := 0; off < half; off++ {
+				u := x[start+off]
+				v := x[start+off+half] * w
+				x[start+off] = u + v
+				x[start+off+half] = u - v
+				w *= wStep
+			}
+		}
+	}
+}
+
+// Forward2D computes the forward DFT of an h x w row-major matrix in
+// place. Both h and w must be powers of two.
+func Forward2D(x []complex128, h, w int) {
+	transform2D(x, h, w, false)
+}
+
+// Inverse2D computes the inverse DFT (with scaling) of an h x w row-major
+// matrix in place.
+func Inverse2D(x []complex128, h, w int) {
+	transform2D(x, h, w, true)
+}
+
+func transform2D(x []complex128, h, w int, inverse bool) {
+	if len(x) < h*w {
+		panic(fmt.Sprintf("fft: buffer %d too small for %dx%d", len(x), h, w))
+	}
+	do := Forward
+	if inverse {
+		do = Inverse
+	}
+	// Rows.
+	for r := 0; r < h; r++ {
+		do(x[r*w : (r+1)*w])
+	}
+	// Columns, via a scratch strip.
+	col := make([]complex128, h)
+	for c := 0; c < w; c++ {
+		for r := 0; r < h; r++ {
+			col[r] = x[r*w+c]
+		}
+		do(col)
+		for r := 0; r < h; r++ {
+			x[r*w+c] = col[r]
+		}
+	}
+}
+
+// CrossCorrelate2D computes the "valid with padding" 2-D cross-correlation
+// of a single-channel image (ih x iw) with a filter (fh x fw) at the given
+// symmetric zero padding, via the frequency domain:
+//
+//	out[y][x] = sum_{r,s} img[y+r-pad][x+s-pad] * flt[r][s]
+//
+// The output is (ih+2*pad-fh+1) x (iw+2*pad-fw+1). It exists mainly as a
+// self-contained reference; the convolution baseline batches the per-
+// channel transforms itself for efficiency.
+func CrossCorrelate2D(img []float32, ih, iw int, flt []float32, fh, fw, pad int) []float32 {
+	oh := ih + 2*pad - fh + 1
+	ow := iw + 2*pad - fw + 1
+	if oh <= 0 || ow <= 0 {
+		panic("fft: filter larger than padded image")
+	}
+	ph := NextPow2(ih + 2*pad)
+	pw := NextPow2(iw + 2*pad)
+	fi := make([]complex128, ph*pw)
+	ff := make([]complex128, ph*pw)
+	for y := 0; y < ih; y++ {
+		for x := 0; x < iw; x++ {
+			fi[(y+pad)*pw+(x+pad)] = complex(float64(img[y*iw+x]), 0)
+		}
+	}
+	for y := 0; y < fh; y++ {
+		for x := 0; x < fw; x++ {
+			ff[y*pw+x] = complex(float64(flt[y*fw+x]), 0)
+		}
+	}
+	Forward2D(fi, ph, pw)
+	Forward2D(ff, ph, pw)
+	// Multiplying by the conjugate of the filter spectrum computes
+	// correlation rather than convolution.
+	for i := range fi {
+		fi[i] *= cmplxConj(ff[i])
+	}
+	Inverse2D(fi, ph, pw)
+	out := make([]float32, oh*ow)
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			out[y*ow+x] = float32(real(fi[y*pw+x]))
+		}
+	}
+	return out
+}
+
+func cmplxConj(c complex128) complex128 {
+	return complex(real(c), -imag(c))
+}

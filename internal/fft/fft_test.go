@@ -1,0 +1,231 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 63: 64, 64: 64, 65: 128}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestForwardKnownImpulse(t *testing.T) {
+	// DFT of an impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("X[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestForwardKnownDC(t *testing.T) {
+	// DFT of a constant is an impulse of height n.
+	x := []complex128{1, 1, 1, 1}
+	Forward(x)
+	if cmplx.Abs(x[0]-4) > 1e-12 {
+		t.Fatalf("X[0] = %v, want 4", x[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(x[i]) > 1e-12 {
+			t.Fatalf("X[%d] = %v, want 0", i, x[i])
+		}
+	}
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	r := tensor.NewRNG(7)
+	n := 16
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(float64(r.Float32()), float64(r.Float32()))
+	}
+	want := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j) / float64(n)
+			want[k] += x[j] * cmplx.Exp(complex(0, ang))
+		}
+	}
+	Forward(x)
+	for k := range x {
+		if cmplx.Abs(x[k]-want[k]) > 1e-9 {
+			t.Fatalf("X[%d] = %v, want %v", k, x[k], want[k])
+		}
+	}
+}
+
+func TestRoundtrip1D(t *testing.T) {
+	r := tensor.NewRNG(8)
+	for _, n := range []int{1, 2, 4, 64, 256} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(float64(r.Float32()), float64(r.Float32()))
+			orig[i] = x[i]
+		}
+		Forward(x)
+		Inverse(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d roundtrip[%d] = %v, want %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two length")
+		}
+	}()
+	Forward(make([]complex128, 6))
+}
+
+func TestRoundtrip2D(t *testing.T) {
+	r := tensor.NewRNG(9)
+	h, w := 8, 16
+	x := make([]complex128, h*w)
+	orig := make([]complex128, h*w)
+	for i := range x {
+		x[i] = complex(float64(r.Float32()), 0)
+		orig[i] = x[i]
+	}
+	Forward2D(x, h, w)
+	Inverse2D(x, h, w)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("2D roundtrip[%d] = %v, want %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// sum |x|^2 == (1/n) sum |X|^2.
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n := 64
+		x := make([]complex128, n)
+		var tm float64
+		for i := range x {
+			x[i] = complex(float64(r.Float32()), float64(r.Float32()))
+			tm += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		Forward(x)
+		var fm float64
+		for i := range x {
+			fm += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		return math.Abs(tm-fm/float64(n)) < 1e-8*math.Max(1, tm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// naiveCorrelate2D is the quadratic-time oracle for CrossCorrelate2D.
+func naiveCorrelate2D(img []float32, ih, iw int, flt []float32, fh, fw, pad int) []float32 {
+	oh := ih + 2*pad - fh + 1
+	ow := iw + 2*pad - fw + 1
+	out := make([]float32, oh*ow)
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			var acc float64
+			for r := 0; r < fh; r++ {
+				iy := y + r - pad
+				if iy < 0 || iy >= ih {
+					continue
+				}
+				for s := 0; s < fw; s++ {
+					ix := x + s - pad
+					if ix < 0 || ix >= iw {
+						continue
+					}
+					acc += float64(img[iy*iw+ix]) * float64(flt[r*fw+s])
+				}
+			}
+			out[y*ow+x] = float32(acc)
+		}
+	}
+	return out
+}
+
+func TestCrossCorrelate2DMatchesNaive(t *testing.T) {
+	r := tensor.NewRNG(10)
+	for _, tc := range []struct{ ih, iw, fh, fw, pad int }{
+		{8, 8, 3, 3, 1},
+		{7, 9, 3, 3, 0},
+		{14, 14, 3, 3, 1},
+		{8, 8, 5, 5, 2},
+		{5, 5, 1, 1, 0},
+	} {
+		img := make([]float32, tc.ih*tc.iw)
+		flt := make([]float32, tc.fh*tc.fw)
+		for i := range img {
+			img[i] = r.Float32()
+		}
+		for i := range flt {
+			flt[i] = r.Float32()
+		}
+		got := CrossCorrelate2D(img, tc.ih, tc.iw, flt, tc.fh, tc.fw, tc.pad)
+		want := naiveCorrelate2D(img, tc.ih, tc.iw, flt, tc.fh, tc.fw, tc.pad)
+		for i := range want {
+			if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+				t.Fatalf("%+v: out[%d] = %v, want %v", tc, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Property: FFT correlation equals naive correlation for random small shapes.
+func TestCrossCorrelateProperty(t *testing.T) {
+	f := func(seed uint64, ihRaw, iwRaw uint8, padRaw uint8) bool {
+		ih := int(ihRaw%12) + 3
+		iw := int(iwRaw%12) + 3
+		pad := int(padRaw % 2)
+		r := tensor.NewRNG(seed)
+		img := make([]float32, ih*iw)
+		flt := make([]float32, 9)
+		for i := range img {
+			img[i] = r.Float32()
+		}
+		for i := range flt {
+			flt[i] = r.Float32()
+		}
+		got := CrossCorrelate2D(img, ih, iw, flt, 3, 3, pad)
+		want := naiveCorrelate2D(img, ih, iw, flt, 3, 3, pad)
+		for i := range want {
+			if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkForward1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	r := tensor.NewRNG(1)
+	for i := range x {
+		x[i] = complex(float64(r.Float32()), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward(x)
+	}
+}

@@ -1,0 +1,156 @@
+// Package gemm implements single-precision general matrix multiplication:
+// a straightforward reference kernel, a cache-blocked serial kernel, a
+// parallel kernel that splits row panels across goroutines, and a batched
+// variant. It is the substrate for im2col convolution and for the
+// non-fused Winograd implementation, mirroring the role cuBLAS-style
+// batched GEMM plays in the paper (Section 2.3: "batched GEMM is a
+// subproblem of Winograd convolution").
+package gemm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Naive computes C = A*B with A (m x k), B (k x n), C (m x n), all
+// row-major. It is the correctness oracle for the optimized kernels.
+func Naive(a, b, c []float32, m, k, n int) {
+	checkDims(a, b, c, m, k, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for p := 0; p < k; p++ {
+				acc += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] = acc
+		}
+	}
+}
+
+// block sizes for the serial blocked kernel; chosen to keep an A panel and
+// a B panel resident in L1/L2 for typical sizes.
+const (
+	blockM = 64
+	blockN = 64
+	blockK = 64
+)
+
+// Blocked computes C = A*B using cache blocking (the Lam/Rothberg/Wolf
+// strategy the paper cites for its own two-level blocking).
+func Blocked(a, b, c []float32, m, k, n int) {
+	checkDims(a, b, c, m, k, n)
+	for i := range c[:m*n] {
+		c[i] = 0
+	}
+	blockedRange(a, b, c, m, k, n, 0, m)
+}
+
+// blockedRange processes rows [i0, i1) of C with the blocked kernel.
+// Callers must have zeroed the destination rows.
+func blockedRange(a, b, c []float32, m, k, n, i0, i1 int) {
+	for ii := i0; ii < i1; ii += blockM {
+		iMax := min(ii+blockM, i1)
+		for pp := 0; pp < k; pp += blockK {
+			pMax := min(pp+blockK, k)
+			for jj := 0; jj < n; jj += blockN {
+				jMax := min(jj+blockN, n)
+				for i := ii; i < iMax; i++ {
+					arow := a[i*k : i*k+k]
+					crow := c[i*n : i*n+n]
+					for p := pp; p < pMax; p++ {
+						av := arow[p]
+						if av == 0 {
+							continue
+						}
+						brow := b[p*n : p*n+n]
+						for j := jj; j < jMax; j++ {
+							crow[j] += av * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Parallel computes C = A*B splitting row panels across workers
+// goroutines; workers <= 0 selects GOMAXPROCS.
+func Parallel(a, b, c []float32, m, k, n, workers int) {
+	checkDims(a, b, c, m, k, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		Blocked(a, b, c, m, k, n)
+		return
+	}
+	for i := range c[:m*n] {
+		c[i] = 0
+	}
+	var wg sync.WaitGroup
+	rowsPer := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		i0 := w * rowsPer
+		i1 := min(i0+rowsPer, m)
+		if i0 >= i1 {
+			break
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			blockedRange(a, b, c, m, k, n, i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// Batched computes batch independent products C[i] = A[i]*B[i], where the
+// slices hold the matrices contiguously (stride m*k, k*n, m*n). Batches
+// are distributed across goroutines. This is the EWMM step of non-fused
+// Winograd: 16 batched GEMMs, one per tile element.
+func Batched(a, b, c []float32, batch, m, k, n, workers int) {
+	if len(a) < batch*m*k || len(b) < batch*k*n || len(c) < batch*m*n {
+		panic(fmt.Sprintf("gemm: batched buffers too small for batch=%d m=%d k=%d n=%d", batch, m, k, n))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > batch {
+		workers = batch
+	}
+	var wg sync.WaitGroup
+	per := (batch + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		b0 := w * per
+		b1 := min(b0+per, batch)
+		if b0 >= b1 {
+			break
+		}
+		wg.Add(1)
+		go func(b0, b1 int) {
+			defer wg.Done()
+			for i := b0; i < b1; i++ {
+				Blocked(a[i*m*k:(i+1)*m*k], b[i*k*n:(i+1)*k*n], c[i*m*n:(i+1)*m*n], m, k, n)
+			}
+		}(b0, b1)
+	}
+	wg.Wait()
+}
+
+func checkDims(a, b, c []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic(fmt.Sprintf("gemm: buffers too small for m=%d k=%d n=%d (a=%d b=%d c=%d)",
+			m, k, n, len(a), len(b), len(c)))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

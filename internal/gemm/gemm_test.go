@@ -1,0 +1,171 @@
+package gemm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func randMat(r *tensor.RNG, n int) []float32 {
+	m := make([]float32, n)
+	for i := range m {
+		m[i] = r.Float32()
+	}
+	return m
+}
+
+func maxDiff(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i] - b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestNaiveKnownValues(t *testing.T) {
+	// [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+	a := []float32{1, 2, 3, 4}
+	b := []float32{5, 6, 7, 8}
+	c := make([]float32, 4)
+	Naive(a, b, c, 2, 2, 2)
+	want := []float32{19, 22, 43, 50}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestNaiveRectangular(t *testing.T) {
+	// (1x3) * (3x2)
+	a := []float32{1, 2, 3}
+	b := []float32{1, 0, 0, 1, 1, 1}
+	c := make([]float32, 2)
+	Naive(a, b, c, 1, 3, 2)
+	if c[0] != 4 || c[1] != 5 {
+		t.Fatalf("c = %v, want [4 5]", c)
+	}
+}
+
+func TestBlockedMatchesNaive(t *testing.T) {
+	r := tensor.NewRNG(1)
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {64, 64, 64}, {65, 63, 130}, {128, 9, 200}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randMat(r, m*k)
+		b := randMat(r, k*n)
+		want := make([]float32, m*n)
+		got := make([]float32, m*n)
+		Naive(a, b, want, m, k, n)
+		Blocked(a, b, got, m, k, n)
+		if d := maxDiff(want, got); d > 1e-4 {
+			t.Fatalf("Blocked(%dx%dx%d) differs from Naive by %v", m, k, n, d)
+		}
+	}
+}
+
+func TestBlockedOverwritesOutput(t *testing.T) {
+	a := []float32{1}
+	b := []float32{2}
+	c := []float32{99}
+	Blocked(a, b, c, 1, 1, 1)
+	if c[0] != 2 {
+		t.Fatalf("Blocked must overwrite, got %v", c[0])
+	}
+}
+
+func TestParallelMatchesNaive(t *testing.T) {
+	r := tensor.NewRNG(2)
+	for _, dims := range [][3]int{{1, 8, 8}, {100, 40, 70}, {257, 33, 65}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randMat(r, m*k)
+		b := randMat(r, k*n)
+		want := make([]float32, m*n)
+		got := make([]float32, m*n)
+		Naive(a, b, want, m, k, n)
+		for _, workers := range []int{0, 1, 3, 16} {
+			Parallel(a, b, got, m, k, n, workers)
+			if d := maxDiff(want, got); d > 1e-4 {
+				t.Fatalf("Parallel(%dx%dx%d, w=%d) differs by %v", m, k, n, workers, d)
+			}
+		}
+	}
+}
+
+func TestBatchedMatchesPerBatchNaive(t *testing.T) {
+	r := tensor.NewRNG(3)
+	batch, m, k, n := 16, 12, 10, 14
+	a := randMat(r, batch*m*k)
+	b := randMat(r, batch*k*n)
+	got := make([]float32, batch*m*n)
+	Batched(a, b, got, batch, m, k, n, 4)
+	for i := 0; i < batch; i++ {
+		want := make([]float32, m*n)
+		Naive(a[i*m*k:(i+1)*m*k], b[i*k*n:(i+1)*k*n], want, m, k, n)
+		if d := maxDiff(want, got[i*m*n:(i+1)*m*n]); d > 1e-4 {
+			t.Fatalf("batch %d differs by %v", i, d)
+		}
+	}
+}
+
+func TestCheckDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short buffers")
+		}
+	}()
+	Naive(make([]float32, 3), make([]float32, 4), make([]float32, 4), 2, 2, 2)
+}
+
+// Property: for random sizes and data, the blocked and parallel kernels
+// agree with the naive kernel.
+func TestGEMMProperty(t *testing.T) {
+	f := func(seed uint64, mRaw, kRaw, nRaw uint8) bool {
+		m := int(mRaw%20) + 1
+		k := int(kRaw%20) + 1
+		n := int(nRaw%20) + 1
+		r := tensor.NewRNG(seed)
+		a := randMat(r, m*k)
+		b := randMat(r, k*n)
+		want := make([]float32, m*n)
+		g1 := make([]float32, m*n)
+		g2 := make([]float32, m*n)
+		Naive(a, b, want, m, k, n)
+		Blocked(a, b, g1, m, k, n)
+		Parallel(a, b, g2, m, k, n, 4)
+		return maxDiff(want, g1) <= 1e-4 && maxDiff(want, g2) <= 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBlocked256(b *testing.B) {
+	r := tensor.NewRNG(1)
+	const n = 256
+	a := randMat(r, n*n)
+	bb := randMat(r, n*n)
+	c := make([]float32, n*n)
+	b.SetBytes(int64(2 * n * n * n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Blocked(a, bb, c, n, n, n)
+	}
+}
+
+func BenchmarkParallel256(b *testing.B) {
+	r := tensor.NewRNG(1)
+	const n = 256
+	a := randMat(r, n*n)
+	bb := randMat(r, n*n)
+	c := make([]float32, n*n)
+	b.SetBytes(int64(2 * n * n * n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Parallel(a, bb, c, n, n, n, 0)
+	}
+}

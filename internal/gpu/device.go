@@ -1,0 +1,188 @@
+// Package gpu implements a warp-level, cycle-approximate simulator for the
+// Volta/Turing-class streaming multiprocessor the paper targets. It
+// executes assembled SASS kernels functionally (so results can be checked
+// against CPU references) while charging cycles through the same
+// microarchitectural mechanisms the paper exploits at SASS level:
+//
+//   - per-scheduler FP32/INT pipes that accept one warp instruction every
+//     two cycles (16 lanes per scheduler, 32-thread warps);
+//   - two 64-bit register banks with an operand reuse cache — an FFMA
+//     whose three live source reads hit one bank pays an extra cycle
+//     (paper Section 4.3, footnote 6);
+//   - a yield-flag-aware warp scheduler: clearing the yield bit makes the
+//     scheduler switch warps, which costs one cycle and invalidates the
+//     reuse cache (Sections 5.1.4 and 6.1);
+//   - control-code-driven stalls, six dependency barriers per warp, and a
+//     hazard checker that reports control codes that would race on real
+//     hardware;
+//   - a shared-memory model with 32 4-byte banks and phase-split wide
+//     accesses (LDS.128 is serviced in four 8-lane phases), reproducing
+//     the conflict behaviour behind the paper's Figure 3 lane arrangement;
+//   - an MIO (memory input/output) front end with a finite instruction
+//     queue; bursts of LDG/STS back-pressure the schedulers, which is the
+//     effect behind the paper's LDG2/LDG8 and STS2/STS6 studies;
+//   - an L2/DRAM path with per-SM bandwidth share and wave-quantized
+//     block scheduling, so occupancy (blocks per SM) emerges from the
+//     register/shared-memory limits exactly as in paper Section 7.1.
+package gpu
+
+import "fmt"
+
+// Device describes one GPU model. The microarchitectural constants map to
+// published specifications where available; MIO service rates are the
+// simulator's calibration points.
+type Device struct {
+	Name string
+
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// ClockGHz is the sustained SM clock.
+	ClockGHz float64
+	// SchedulersPerSM is the number of warp schedulers (processing
+	// blocks) per SM; 4 on Volta and Turing.
+	SchedulersPerSM int
+	// MaxWarpsPerSM bounds resident warps (64 on Volta, 32 on Turing).
+	MaxWarpsPerSM int
+	// RegFileRegs is the per-SM register file in 32-bit registers.
+	RegFileRegs int
+	// RegAllocUnit is the register allocation granularity per warp.
+	RegAllocUnit int
+	// MaxSmemPerSM is the shared memory usable per SM in bytes (96 KB on
+	// V100, 64 KB on Turing — the asymmetry behind paper Section 7.1).
+	MaxSmemPerSM int
+	// MaxBlocksPerSM bounds resident thread blocks per SM.
+	MaxBlocksPerSM int
+
+	// L2LatencyCycles and DRAMLatencyCycles are load-return latencies.
+	L2LatencyCycles, DRAMLatencyCycles int
+	// L2SizeBytes is the device L2 capacity (modelled per-SM as an equal
+	// slice).
+	L2SizeBytes int
+	// DRAMBandwidthGBs is the aggregate DRAM bandwidth.
+	DRAMBandwidthGBs float64
+
+	// MIOQueueDepth is the per-SM shared-memory instruction queue
+	// capacity. When full, warps whose next instruction is an LDS/STS
+	// cannot issue — the back-pressure behind the STS spacing study.
+	MIOQueueDepth int
+	// MSHRs bounds outstanding global-memory accesses per SM (miss
+	// status holding registers). A global load holds its slot until the
+	// data returns, so bursts of LDGs exhaust the slots and stall the
+	// issuing warps — the back-pressure behind the LDG spacing study.
+	MSHRs int
+	// SmemBytesPerCycle is the shared-memory pipe width (128 on both).
+	SmemBytesPerCycle int
+	// LDGServiceCycles is the MIO occupancy of one coalesced global
+	// load/store warp instruction (address generation + tag path).
+	LDGServiceCycles int
+}
+
+// V100 returns the Volta Tesla V100 (SXM2) model used in the paper.
+func V100() Device {
+	return Device{
+		Name:              "V100",
+		SMs:               80,
+		ClockGHz:          1.53,
+		SchedulersPerSM:   4,
+		MaxWarpsPerSM:     64,
+		RegFileRegs:       65536,
+		RegAllocUnit:      256,
+		MaxSmemPerSM:      96 * 1024,
+		MaxBlocksPerSM:    32,
+		L2LatencyCycles:   200,
+		DRAMLatencyCycles: 450,
+		L2SizeBytes:       6 * 1024 * 1024,
+		DRAMBandwidthGBs:  900,
+		MIOQueueDepth:     10,
+		MSHRs:             64,
+		SmemBytesPerCycle: 128,
+		LDGServiceCycles:  2,
+	}
+}
+
+// RTX2070 returns the Turing RTX 2070 model used in the paper.
+func RTX2070() Device {
+	return Device{
+		Name:              "RTX2070",
+		SMs:               36,
+		ClockGHz:          1.62,
+		SchedulersPerSM:   4,
+		MaxWarpsPerSM:     32,
+		RegFileRegs:       65536,
+		RegAllocUnit:      256,
+		MaxSmemPerSM:      64 * 1024,
+		MaxBlocksPerSM:    16,
+		L2LatencyCycles:   200,
+		DRAMLatencyCycles: 400,
+		L2SizeBytes:       4 * 1024 * 1024,
+		DRAMBandwidthGBs:  448,
+		MIOQueueDepth:     10,
+		MSHRs:             64,
+		SmemBytesPerCycle: 128,
+		LDGServiceCycles:  2,
+	}
+}
+
+// FP32LanesPerScheduler is fixed at 16 on Volta and Turing: a 32-lane warp
+// occupies the FP32 pipe for two cycles.
+const FP32LanesPerScheduler = 16
+
+// PeakFP32TFLOPS returns the theoretical single-precision peak.
+func (d Device) PeakFP32TFLOPS() float64 {
+	lanes := float64(d.SchedulersPerSM * FP32LanesPerScheduler * d.SMs)
+	return lanes * 2 * d.ClockGHz / 1000
+}
+
+// Occupancy is the result of the residency calculation for one kernel.
+type Occupancy struct {
+	BlocksPerSM       int
+	WarpsPerSM        int
+	WarpsPerScheduler int
+	// Limiter names the resource that bounds residency.
+	Limiter string
+}
+
+// OccupancyFor computes how many copies of a block (given threads,
+// registers per thread, shared memory per block) fit on one SM — the
+// paper's Section 7.1 analysis.
+func (d Device) OccupancyFor(threads, regsPerThread, smemBytes int) (Occupancy, error) {
+	if threads <= 0 || threads%32 != 0 {
+		return Occupancy{}, fmt.Errorf("gpu: block size %d is not a positive multiple of 32", threads)
+	}
+	warpsPerBlock := threads / 32
+	if regsPerThread <= 0 {
+		regsPerThread = 16
+	}
+	// Register allocation is rounded up per warp to the allocation unit.
+	regsPerWarp := ((regsPerThread*32 + d.RegAllocUnit - 1) / d.RegAllocUnit) * d.RegAllocUnit
+	regsPerBlock := regsPerWarp * warpsPerBlock
+	if regsPerBlock > d.RegFileRegs {
+		return Occupancy{}, fmt.Errorf("gpu: block needs %d registers, SM has %d", regsPerBlock, d.RegFileRegs)
+	}
+	if smemBytes > d.MaxSmemPerSM {
+		return Occupancy{}, fmt.Errorf("gpu: block needs %d B shared memory, SM has %d", smemBytes, d.MaxSmemPerSM)
+	}
+
+	limit := d.MaxBlocksPerSM
+	limiter := "blocks"
+	if byWarps := d.MaxWarpsPerSM / warpsPerBlock; byWarps < limit {
+		limit, limiter = byWarps, "warps"
+	}
+	if byRegs := d.RegFileRegs / regsPerBlock; byRegs < limit {
+		limit, limiter = byRegs, "registers"
+	}
+	if smemBytes > 0 {
+		if bySmem := d.MaxSmemPerSM / smemBytes; bySmem < limit {
+			limit, limiter = bySmem, "shared memory"
+		}
+	}
+	if limit < 1 {
+		return Occupancy{}, fmt.Errorf("gpu: kernel does not fit on %s", d.Name)
+	}
+	return Occupancy{
+		BlocksPerSM:       limit,
+		WarpsPerSM:        limit * warpsPerBlock,
+		WarpsPerScheduler: (limit*warpsPerBlock + d.SchedulersPerSM - 1) / d.SchedulersPerSM,
+		Limiter:           limiter,
+	}, nil
+}

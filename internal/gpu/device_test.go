@@ -1,0 +1,98 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPeakTFLOPS(t *testing.T) {
+	// V100: 80 SMs x 64 lanes x 2 x 1.53 GHz = 15.67 TFLOPS (paper: 15.7T).
+	if p := V100().PeakFP32TFLOPS(); math.Abs(p-15.67) > 0.05 {
+		t.Fatalf("V100 peak = %v", p)
+	}
+	// RTX2070: 36 SMs x 64 lanes x 2 x 1.62 GHz = 7.46 TFLOPS.
+	if p := RTX2070().PeakFP32TFLOPS(); math.Abs(p-7.46) > 0.05 {
+		t.Fatalf("RTX2070 peak = %v", p)
+	}
+}
+
+func TestOccupancyPaperTable7(t *testing.T) {
+	// Our kernel: 256 threads, 253 regs, 48KB smem.
+	// Register-bound to 1 block/SM on both devices.
+	for _, dev := range []Device{V100(), RTX2070()} {
+		occ, err := dev.OccupancyFor(256, 253, 48*1024)
+		if err != nil {
+			t.Fatalf("%s: %v", dev.Name, err)
+		}
+		if occ.BlocksPerSM != 1 {
+			t.Fatalf("%s ours: blocks/SM = %d, want 1", dev.Name, occ.BlocksPerSM)
+		}
+		if occ.WarpsPerScheduler != 2 {
+			t.Fatalf("%s ours: warps/scheduler = %d, want 2", dev.Name, occ.WarpsPerScheduler)
+		}
+	}
+	// cuDNN's kernel: 256 threads, 126 regs, 48KB smem.
+	// Paper Section 7.1: 2 blocks/SM on V100 (96KB smem), 1 on RTX2070 (64KB).
+	occV, err := V100().OccupancyFor(256, 126, 48*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occV.BlocksPerSM != 2 {
+		t.Fatalf("V100 cuDNN: %+v", occV)
+	}
+	occT, err := RTX2070().OccupancyFor(256, 126, 48*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occT.BlocksPerSM != 1 {
+		t.Fatalf("RTX2070 cuDNN: %+v", occT)
+	}
+}
+
+func TestOccupancyErrors(t *testing.T) {
+	dev := RTX2070()
+	if _, err := dev.OccupancyFor(100, 32, 0); err == nil {
+		t.Fatal("expected error for non-multiple-of-32 block")
+	}
+	if _, err := dev.OccupancyFor(256, 253, 80*1024); err == nil {
+		t.Fatal("expected error for smem over Turing's 64KB")
+	}
+	if _, err := dev.OccupancyFor(1024, 253, 0); err == nil {
+		t.Fatal("expected error: 1024 threads x 253 regs exceeds the register file")
+	}
+}
+
+func TestOccupancyWarpLimited(t *testing.T) {
+	dev := V100()
+	occ, err := dev.OccupancyFor(1024, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1024 threads = 32 warps; V100 max 64 warps -> 2 blocks.
+	if occ.BlocksPerSM != 2 || occ.Limiter != "warps" {
+		t.Fatalf("occ = %+v", occ)
+	}
+}
+
+func TestL2CacheBasics(t *testing.T) {
+	c := newL2(16 * 1024) // 16KB = 128 lines = 16 sets x 8 ways
+	if c.access(0) {
+		t.Fatal("cold access should miss")
+	}
+	if !c.access(0) {
+		t.Fatal("second access should hit")
+	}
+	if !c.access(64) {
+		t.Fatal("same-line access should hit")
+	}
+	if c.access(128) {
+		t.Fatal("next line should miss")
+	}
+	// Fill the set of line 0 (same set every 16 lines => stride 16*128B).
+	for i := 1; i <= 8; i++ {
+		c.access(uint32(i * 16 * 128))
+	}
+	if c.access(0) {
+		t.Fatal("line 0 should have been evicted (LRU)")
+	}
+}

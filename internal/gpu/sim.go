@@ -1,0 +1,1041 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cubin"
+	"repro/internal/sass"
+)
+
+// Sim owns the simulated device: its global memory, the allocator, and
+// launch machinery. One Sim can run many launches; memory persists across
+// launches (so a filter-transform kernel can feed the main kernel).
+type Sim struct {
+	Dev Device
+	// HazardCheck enables the control-code validator: instructions that
+	// read or overwrite a register whose producing instruction has not
+	// completed (fixed-latency stall too short, or a missing dependency-
+	// barrier wait) are reported in Metrics.HazardViolations. The
+	// simulator itself always computes correct results — the checker
+	// reports what would have raced on real hardware.
+	HazardCheck bool
+
+	mem      mem
+	allocOff uint32
+	l2       *l2cache
+}
+
+// NewSim creates a simulator for the given device model.
+func NewSim(dev Device) *Sim {
+	// Zero-valued queue capacities get safe defaults so hand-built test
+	// devices work.
+	if dev.MIOQueueDepth <= 0 {
+		dev.MIOQueueDepth = 10
+	}
+	if dev.MSHRs <= 0 {
+		dev.MSHRs = 96
+	}
+	if dev.LDGServiceCycles <= 0 {
+		dev.LDGServiceCycles = 2
+	}
+	// The L2 is device-shared: concurrently resident blocks on different
+	// SMs read the same filter tiles, so one SM's view of the cache sees
+	// the full capacity (simulated SM instances share this model).
+	return &Sim{Dev: dev, allocOff: 256, l2: newL2(dev.L2SizeBytes)}
+}
+
+// LaunchOpts configures one kernel launch.
+type LaunchOpts struct {
+	// Grid is the x dimension of the grid; GridY and GridZ default to 1.
+	// The total block count is Grid * GridY * GridZ; CTAID.X/Y/Z are
+	// recovered from the linear block index.
+	Grid         int
+	GridY, GridZ int
+	// Block is threads per block (multiple of 32).
+	Block int
+	// Params is the kernel-parameter area, written to constant bank 0 at
+	// cubin.ParamBase word by word.
+	Params []uint32
+	// MaxBlocks, when positive, simulates only the first MaxBlocks
+	// blocks — a timing sample; callers extrapolate whole-grid time via
+	// wave counts. 0 simulates every block (full functional run).
+	MaxBlocks int
+	// OneSM forces all simulated blocks through a single SM instance,
+	// the configuration used for steady-state main-loop measurements.
+	OneSM bool
+	// SampleStride spaces the blocks handed to the OneSM instance by
+	// this many grid positions (default 1). Sampling with stride = SMs
+	// mimics what one SM of a full device sees: consecutive resident
+	// blocks come from across the grid, so L2 locality between them
+	// matches the real concurrent mix rather than an artificially
+	// sequential one.
+	SampleStride int
+	// SampleWaves/SampleSMs select wave sampling: SampleSMs instances
+	// (sharing the device L2 model) each run SampleWaves waves, taking
+	// every (SMs/SampleSMs)-th resident slot of each device wave. This
+	// captures both the cross-grid block mix within a wave and the
+	// constructive L2 sharing between concurrently resident blocks.
+	// Overrides MaxBlocks/OneSM when set.
+	SampleWaves, SampleSMs int
+}
+
+// Metrics aggregates counters over all simulated SM instances.
+type Metrics struct {
+	Device     string
+	Kernel     string
+	GridBlocks int // requested grid size
+	SimBlocks  int // blocks actually simulated
+	SimSMs     int
+	Occupancy  Occupancy
+
+	Cycles      int64 // max cycle count over SM instances
+	SchedCycles int64 // sum over SMs of cycles * schedulers (issue slots)
+
+	Issued    int64
+	FFMAs     int64 // FFMA warp instructions issued
+	FPIssued  int64
+	IntIssued int64
+	MemIssued int64
+	LDGCount  int64
+	STGCount  int64
+	LDSCount  int64
+	STSCount  int64
+
+	FPPipeUseful       int64 // FP-pipe cycles doing work (2 per warp op)
+	RegBankConflicts   int64 // extra FP-pipe cycles from register bank conflicts
+	SmemConflictCycles int64 // extra MIO cycles from shared-memory bank conflicts
+	SwitchCount        int64 // warp switches (each costs one issue cycle)
+	MIOStallCycles     int64 // scheduler-cycles blocked on the full smem queue
+	MSHRStallCycles    int64 // scheduler-cycles blocked on exhausted MSHRs
+	L2Hits, L2Misses   int64
+
+	HazardViolations []string
+}
+
+// SOL is the achieved fraction of FP32 peak — the paper's Speed-Of-Light
+// metric (Section 7.2): useful FP-pipe cycles over available issue-slot
+// cycles.
+func (m *Metrics) SOL() float64 {
+	if m.SchedCycles == 0 {
+		return 0
+	}
+	return float64(m.FPPipeUseful) / float64(m.SchedCycles)
+}
+
+// FLOPs returns the floating-point operations executed (2 per FFMA lane,
+// 1 per FADD/FMUL lane).
+func (m *Metrics) FLOPs() float64 {
+	return float64(m.FFMAs)*2*warpSize + float64(m.FPIssued-m.FFMAs)*warpSize
+}
+
+// TFLOPS converts the simulated cycle count into achieved TFLOPS on the
+// launch's device.
+func (m *Metrics) TFLOPS(dev Device) float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(m.Cycles) / (dev.ClockGHz * 1e9)
+	// The per-SM sample accounts for SimSMs of the device's SMs.
+	return m.FLOPs() / seconds / 1e12
+}
+
+const (
+	fpLatency     = 4  // FFMA/FADD/FMUL result latency
+	intLatency    = 5  // ALU result latency
+	s2rLatency    = 25 // special-register read latency
+	smemLatency   = 19 // LDS data-return latency after service
+	barLatency    = 30 // BAR.SYNC release overhead
+	blockStartGap = 100
+	maxViolations = 16
+)
+
+// Launch runs a kernel and returns aggregated metrics.
+func (s *Sim) Launch(k *cubin.Kernel, opts LaunchOpts) (*Metrics, error) {
+	if opts.GridY <= 0 {
+		opts.GridY = 1
+	}
+	if opts.GridZ <= 0 {
+		opts.GridZ = 1
+	}
+	if opts.Grid <= 0 {
+		return nil, fmt.Errorf("gpu: grid must be positive")
+	}
+	if opts.Block <= 0 || opts.Block%32 != 0 {
+		return nil, fmt.Errorf("gpu: block size %d is not a positive multiple of 32", opts.Block)
+	}
+	insts, err := k.Decode()
+	if err != nil {
+		return nil, err
+	}
+	occ, err := s.Dev.OccupancyFor(opts.Block, k.NumRegs, k.SmemBytes)
+	if err != nil {
+		return nil, err
+	}
+	if len(opts.Params)*4 > k.ParamBytes && k.ParamBytes > 0 {
+		return nil, fmt.Errorf("gpu: %d param bytes passed, kernel declares %d", len(opts.Params)*4, k.ParamBytes)
+	}
+
+	// Constant bank 0: [0]=gridDim.x, [1]=blockDim.x, then params at 0x160.
+	consts := make([]uint32, cubin.ParamBase/4+len(opts.Params))
+	consts[0] = uint32(opts.Grid)
+	consts[1] = uint32(opts.Block)
+	copy(consts[cubin.ParamBase/4:], opts.Params)
+
+	gridBlocks := opts.Grid * opts.GridY * opts.GridZ
+	simBlocks := gridBlocks
+	if opts.MaxBlocks > 0 && opts.MaxBlocks < simBlocks {
+		simBlocks = opts.MaxBlocks
+	}
+	smCount := s.Dev.SMs
+	if opts.OneSM {
+		smCount = 1
+	}
+	// Blocks are dealt round-robin over SM instances; instances with no
+	// blocks are not simulated.
+	if smCount > simBlocks {
+		smCount = simBlocks
+	}
+	stride := 1
+	if opts.OneSM && opts.SampleStride > 1 {
+		stride = opts.SampleStride
+	}
+	if opts.SampleWaves > 0 {
+		smCount = opts.SampleSMs
+		if smCount <= 0 {
+			smCount = 1
+		}
+		simBlocks = smCount * opts.SampleWaves * occ.BlocksPerSM
+	}
+
+	total := &Metrics{
+		Device:     s.Dev.Name,
+		Kernel:     k.Name,
+		GridBlocks: opts.Grid,
+		SimBlocks:  simBlocks,
+		SimSMs:     smCount,
+		Occupancy:  occ,
+	}
+	for smi := 0; smi < smCount; smi++ {
+		var blocks []int
+		if opts.SampleWaves > 0 {
+			// Wave sampling: this instance plays SM number
+			// smi*(SMs/smCount) of each device wave.
+			smSpread := s.Dev.SMs / smCount
+			if smSpread < 1 {
+				smSpread = 1
+			}
+			waveSize := s.Dev.SMs * occ.BlocksPerSM
+			for w := 0; w < opts.SampleWaves; w++ {
+				base := w*waveSize + smi*smSpread*occ.BlocksPerSM
+				for j := 0; j < occ.BlocksPerSM; j++ {
+					blocks = append(blocks, (base+j)%gridBlocks)
+				}
+			}
+		} else {
+			for b := smi; len(blocks) < (simBlocks+smCount-1-smi)/smCount; b += smCount * stride {
+				blocks = append(blocks, b%gridBlocks)
+			}
+		}
+		inst := newSMSim(s, k, insts, consts, occ, blocks, opts.Grid, opts.GridY)
+		if err := inst.run(); err != nil {
+			return nil, fmt.Errorf("gpu: SM %d: %w", smi, err)
+		}
+		inst.fold(total)
+	}
+	return total, nil
+}
+
+// event kinds for the SM event queue.
+const (
+	evBarRelease = iota
+	evBlockLoad
+	evBarSyncDone
+)
+
+type event struct {
+	at   int64
+	kind int
+	warp *warp
+	bar  int8
+	blk  int
+}
+
+type scheduler struct {
+	warps        []*warp
+	last         *warp
+	rr           int
+	busyUntil    int64
+	fpBusyUntil  int64
+	intBusyUntil int64
+}
+
+type smSim struct {
+	sim    *Sim
+	dev    *Device
+	kern   *cubin.Kernel
+	insts  []sass.Inst
+	consts []uint32
+
+	occ          Occupancy
+	gridX, gridY int
+	maxRegUsed   int
+	pending      []int // block indices not yet resident
+	resident     int
+	now          int64
+	scheds       []*scheduler
+	warpSeq      int
+	events       []event // unsorted small queue
+	// MIO front end. All memory instructions pass through one shared
+	// dispatch queue (dispQ, slots held until the owning pipe starts
+	// servicing) — a burst of LDGs therefore delays LDS dispatch, the
+	// paper's "stalled by busy load/store units". Global loads
+	// additionally hold an MSHR (globQ) until their data returns.
+	dispQ, globQ []int64
+	smemFree     int64
+	globFree     int64
+	dramFree     int64
+	l2           *l2cache
+	bwCycles     float64 // DRAM transfer cycles per 128-byte line, per-SM share
+
+	m Metrics
+}
+
+func newSMSim(s *Sim, k *cubin.Kernel, insts []sass.Inst, consts []uint32, occ Occupancy, blocks []int, gx, gy int) *smSim {
+	dev := &s.Dev
+	perLine := float64(l2Line) / (dev.DRAMBandwidthGBs / dev.ClockGHz / float64(dev.SMs))
+	sm := &smSim{
+		sim:      s,
+		dev:      dev,
+		kern:     k,
+		insts:    insts,
+		consts:   consts,
+		occ:      occ,
+		gridX:    gx,
+		gridY:    gy,
+		pending:  blocks,
+		l2:       s.l2,
+		bwCycles: perLine,
+	}
+	sm.scheds = make([]*scheduler, dev.SchedulersPerSM)
+	for i := range sm.scheds {
+		sm.scheds[i] = &scheduler{}
+	}
+	for i := 0; i < occ.BlocksPerSM && len(sm.pending) > 0; i++ {
+		sm.loadBlock()
+	}
+	return sm
+}
+
+// loadBlock makes the next pending block resident and spreads its warps
+// over the schedulers.
+func (sm *smSim) loadBlock() {
+	blkIdx := sm.pending[0]
+	sm.pending = sm.pending[1:]
+	sm.resident++
+	threads := int(sm.consts[1])
+	nw := threads / warpSize
+	blk := &blockState{
+		blockIdx: blkIdx,
+		ctaid: [3]int{
+			blkIdx % sm.gridX,
+			(blkIdx / sm.gridX) % sm.gridY,
+			blkIdx / (sm.gridX * sm.gridY),
+		},
+		smem: make([]uint32, (sm.kern.SmemBytes+3)/4),
+	}
+	// Size the architectural register array from the code itself: the
+	// declared NumRegs governs occupancy, but a kernel that touches a
+	// register above its declaration (modelling a baseline whose real
+	// implementation would spill or re-derive) must still execute.
+	regs := sm.kern.NumRegs
+	if sm.maxRegUsed == 0 {
+		sm.maxRegUsed = 16
+		for i := range sm.insts {
+			in := &sm.insts[i]
+			for _, r := range sourceRegs(in) {
+				if int(r)+1 > sm.maxRegUsed {
+					sm.maxRegUsed = int(r) + 1
+				}
+			}
+			for _, r := range destRegs(in) {
+				if int(r)+1 > sm.maxRegUsed {
+					sm.maxRegUsed = int(r) + 1
+				}
+			}
+		}
+	}
+	if sm.maxRegUsed > regs {
+		regs = sm.maxRegUsed
+	}
+	if regs < 16 {
+		regs = 16
+	}
+	for wi := 0; wi < nw; wi++ {
+		w := &warp{
+			idx:        wi,
+			global:     sm.warpSeq,
+			block:      blk,
+			regs:       make([][warpSize]uint32, regs+4),
+			nextIssue:  sm.now,
+			regReadyAt: make([]int64, 256),
+			regBar:     make([]int8, 256),
+		}
+		for i := range w.regBar {
+			w.regBar[i] = -1
+		}
+		blk.warps = append(blk.warps, w)
+		sched := sm.scheds[sm.warpSeq%len(sm.scheds)]
+		sched.warps = append(sched.warps, w)
+		sm.warpSeq++
+	}
+}
+
+// fold adds this SM's counters into the launch totals.
+func (sm *smSim) fold(t *Metrics) {
+	m := &sm.m
+	if sm.now > t.Cycles {
+		t.Cycles = sm.now
+	}
+	t.SchedCycles += sm.now * int64(len(sm.scheds))
+	t.Issued += m.Issued
+	t.FFMAs += m.FFMAs
+	t.FPIssued += m.FPIssued
+	t.IntIssued += m.IntIssued
+	t.MemIssued += m.MemIssued
+	t.LDGCount += m.LDGCount
+	t.STGCount += m.STGCount
+	t.LDSCount += m.LDSCount
+	t.STSCount += m.STSCount
+	t.FPPipeUseful += m.FPPipeUseful
+	t.RegBankConflicts += m.RegBankConflicts
+	t.SmemConflictCycles += m.SmemConflictCycles
+	t.SwitchCount += m.SwitchCount
+	t.MIOStallCycles += m.MIOStallCycles
+	t.MSHRStallCycles += m.MSHRStallCycles
+	t.L2Hits += m.L2Hits
+	t.L2Misses += m.L2Misses
+	for _, v := range m.HazardViolations {
+		if len(t.HazardViolations) < maxViolations {
+			t.HazardViolations = append(t.HazardViolations, v)
+		}
+	}
+}
+
+func (sm *smSim) run() error {
+	idleGuard := 0
+	for sm.resident > 0 || len(sm.pending) > 0 {
+		sm.fireEvents()
+		issued := false
+		for _, sc := range sm.scheds {
+			ok, err := sm.tryIssue(sc)
+			if err != nil {
+				return err
+			}
+			issued = issued || ok
+		}
+		if issued {
+			sm.now++
+			idleGuard = 0
+			continue
+		}
+		next, found := sm.nextWake()
+		if !found {
+			if sm.resident == 0 && len(sm.pending) > 0 {
+				// Shouldn't happen: block loads are events.
+				return fmt.Errorf("stalled with pending blocks at cycle %d", sm.now)
+			}
+			return fmt.Errorf("deadlock at cycle %d: no eligible warp and no pending event", sm.now)
+		}
+		if next <= sm.now {
+			next = sm.now + 1
+		}
+		sm.now = next
+		idleGuard++
+		if idleGuard > 1<<20 {
+			return fmt.Errorf("livelock at cycle %d", sm.now)
+		}
+	}
+	return nil
+}
+
+// nextWake finds the earliest future cycle at which anything can change.
+func (sm *smSim) nextWake() (int64, bool) {
+	best := int64(-1)
+	upd := func(t int64) {
+		if t > sm.now && (best < 0 || t < best) {
+			best = t
+		}
+	}
+	for _, e := range sm.events {
+		upd(e.at)
+	}
+	for _, sc := range sm.scheds {
+		upd(sc.busyUntil)
+		upd(sc.fpBusyUntil)
+		upd(sc.intBusyUntil)
+		for _, w := range sc.warps {
+			if !w.done && !w.atBar {
+				upd(w.nextIssue)
+			}
+		}
+	}
+	for _, t := range sm.dispQ {
+		upd(t)
+	}
+	for _, t := range sm.globQ {
+		upd(t)
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+func (sm *smSim) fireEvents() {
+	kept := sm.events[:0]
+	for _, e := range sm.events {
+		if e.at > sm.now {
+			kept = append(kept, e)
+			continue
+		}
+		switch e.kind {
+		case evBarRelease:
+			w := e.warp
+			w.barPending[e.bar]--
+			if w.barPending[e.bar] == 0 && sm.sim.HazardCheck {
+				for _, r := range w.barRegs[e.bar] {
+					w.regBar[r] = -1
+					w.regReadyAt[r] = 0
+				}
+				w.barRegs[e.bar] = w.barRegs[e.bar][:0]
+			}
+		case evBlockLoad:
+			if len(sm.pending) > 0 {
+				sm.loadBlock()
+			}
+		case evBarSyncDone:
+			// handled inline at arrival; nothing to do
+		}
+	}
+	sm.events = kept
+}
+
+// mioSlotFree prunes released queue entries and reports availability:
+// every memory instruction needs a shared dispatch slot, and global loads
+// additionally need a free MSHR.
+func (sm *smSim) mioSlotFree(op sass.Opcode) bool {
+	prune := func(q *[]int64) {
+		kept := (*q)[:0]
+		for _, t := range *q {
+			if t > sm.now {
+				kept = append(kept, t)
+			}
+		}
+		*q = kept
+	}
+	prune(&sm.dispQ)
+	if len(sm.dispQ) >= sm.dev.MIOQueueDepth {
+		return false
+	}
+	if op == sass.OpLDG {
+		prune(&sm.globQ)
+		if len(sm.globQ) >= sm.dev.MSHRs {
+			return false
+		}
+	}
+	return true
+}
+
+// eligible reports whether warp w can issue its next instruction now;
+// blocked reports which memory queue (if any) prevented the issue:
+// 0 none, 1 shared-memory queue, 2 MSHRs.
+func (sm *smSim) eligible(sc *scheduler, w *warp) (ok bool, blocked int) {
+	if w.done || w.atBar || w.nextIssue > sm.now {
+		return false, 0
+	}
+	if w.pc >= len(sm.insts) {
+		return false, 0
+	}
+	in := &sm.insts[w.pc]
+	if in.Ctrl.WaitMask != 0 {
+		for b := 0; b < 6; b++ {
+			if in.Ctrl.WaitMask&(1<<uint(b)) != 0 && w.barPending[b] > 0 {
+				return false, 0
+			}
+		}
+	}
+	switch {
+	case in.Op.IsMemory():
+		if !sm.mioSlotFree(in.Op) {
+			if in.Op == sass.OpLDG {
+				return false, 2
+			}
+			return false, 1
+		}
+	case isFP(in.Op):
+		if sc.fpBusyUntil > sm.now {
+			return false, 0
+		}
+	case isInt(in.Op):
+		if sc.intBusyUntil > sm.now {
+			return false, 0
+		}
+	}
+	return true, 0
+}
+
+func isFP(op sass.Opcode) bool {
+	return op == sass.OpFFMA || op == sass.OpFADD || op == sass.OpFMUL
+}
+
+func isInt(op sass.Opcode) bool {
+	switch op {
+	case sass.OpMOV, sass.OpIADD3, sass.OpIMAD, sass.OpISETP, sass.OpLOP3,
+		sass.OpSHF, sass.OpSEL, sass.OpS2R, sass.OpP2R, sass.OpR2P:
+		return true
+	}
+	return false
+}
+
+// tryIssue attempts one instruction issue on a scheduler.
+func (sm *smSim) tryIssue(sc *scheduler) (bool, error) {
+	if sc.busyUntil > sm.now || len(sc.warps) == 0 {
+		return false, nil
+	}
+	var chosen *warp
+	blockKind := 0
+	// Yield semantics (paper Section 6.1): when the last instruction of
+	// the current warp had the yield bit set, the scheduler prefers to
+	// keep issuing from it; when cleared it prefers any other warp, and
+	// switching costs one cycle and invalidates the reuse cache.
+	if sc.last != nil && sc.last.lastYield {
+		if ok, bk := sm.eligible(sc, sc.last); ok {
+			chosen = sc.last
+		} else if bk > blockKind {
+			blockKind = bk
+		}
+	}
+	if chosen == nil {
+		n := len(sc.warps)
+		for i := 1; i <= n; i++ {
+			w := sc.warps[(sc.rr+i)%n]
+			if w == sc.last {
+				continue
+			}
+			if ok, bk := sm.eligible(sc, w); ok {
+				chosen = w
+				sc.rr = (sc.rr + i) % n
+				break
+			} else if bk > blockKind {
+				blockKind = bk
+			}
+		}
+		// Fall back to the current warp even when it asked to yield.
+		if chosen == nil && sc.last != nil {
+			if ok, bk := sm.eligible(sc, sc.last); ok {
+				chosen = sc.last
+			} else if bk > blockKind {
+				blockKind = bk
+			}
+		}
+	}
+	if chosen == nil {
+		switch blockKind {
+		case 1:
+			sm.m.MIOStallCycles++
+		case 2:
+			sm.m.MSHRStallCycles++
+		}
+		return false, nil
+	}
+	return true, sm.issue(sc, chosen)
+}
+
+func (sm *smSim) issue(sc *scheduler, w *warp) error {
+	in := &sm.insts[w.pc]
+	w.pc++
+
+	switched := sc.last != nil && sc.last != w
+	penalty := int64(0)
+	if switched {
+		penalty = 1
+		sm.m.SwitchCount++
+		w.reuseValid = false
+	}
+
+	res, err := w.exec(in, sm.consts)
+	if err != nil {
+		return err
+	}
+	sm.m.Issued++
+
+	if sm.sim.HazardCheck {
+		sm.checkHazards(w, in, res.srcRegs)
+	}
+
+	// A warp switch delays the effective issue by one cycle (paper
+	// footnote 4: "one extra cycle to switch to another warp").
+	base := sm.now + penalty
+	stall := int64(in.Ctrl.Stall)
+	if stall < 1 {
+		stall = 1
+	}
+	w.nextIssue = base + stall
+	sc.busyUntil = base + 1
+
+	switch {
+	case res.fpOp:
+		sm.m.FPIssued++
+		if in.Op == sass.OpFFMA {
+			sm.m.FFMAs++
+		}
+		dur := int64(2)
+		if sm.regBankConflict(w, in) {
+			dur++
+			sm.m.RegBankConflicts++
+		}
+		sc.fpBusyUntil = base + dur
+		sm.m.FPPipeUseful += 2
+		sm.noteFixedWrite(w, in, fpLatency)
+	case res.intOp:
+		sm.m.IntIssued++
+		sc.intBusyUntil = base + 2
+		lat := int64(intLatency)
+		if in.Op == sass.OpS2R {
+			lat = s2rLatency
+		}
+		sm.noteFixedWrite(w, in, lat)
+		if in.Ctrl.WriteBar >= 0 {
+			w.barPending[in.Ctrl.WriteBar]++
+			sm.events = append(sm.events, event{at: base + lat, kind: evBarRelease, warp: w, bar: in.Ctrl.WriteBar})
+		}
+	case res.mem != nil:
+		if err := sm.issueMem(w, in, res.mem, base); err != nil {
+			return err
+		}
+	case res.barrier:
+		blk := w.block
+		w.atBar = true
+		blk.barWait++
+		if blk.barWait >= len(blk.warps)-blk.doneWarp {
+			blk.barWait = 0
+			for _, bw := range blk.warps {
+				if bw.atBar {
+					bw.atBar = false
+					if t := sm.now + barLatency; t > bw.nextIssue {
+						bw.nextIssue = t
+					}
+				}
+			}
+		}
+	case res.exited:
+		w.done = true
+		blk := w.block
+		blk.doneWarp++
+		if blk.doneWarp == len(blk.warps) {
+			sm.retireBlock(blk)
+		} else if blk.barWait > 0 && blk.barWait >= len(blk.warps)-blk.doneWarp {
+			// The exit may satisfy a barrier the other warps wait at.
+			blk.barWait = 0
+			for _, bw := range blk.warps {
+				if bw.atBar {
+					bw.atBar = false
+					if t := sm.now + barLatency; t > bw.nextIssue {
+						bw.nextIssue = t
+					}
+				}
+			}
+		}
+	}
+
+	// Latch operand-reuse state for the next ALU instruction of this
+	// warp. Interleaved memory instructions leave the latch untouched;
+	// only a warp switch (above) or an ALU instruction without reuse
+	// flags invalidates it.
+	if res.fpOp || res.intOp {
+		if in.Ctrl.Reuse != 0 {
+			w.reuseValid = true
+			w.reuseMask = in.Ctrl.Reuse
+			w.reuseRegs = [3]sass.Reg{in.Rs0, in.Rs1, in.Rs2}
+			if in.SrcMode != sass.SrcReg {
+				w.reuseRegs[1] = sass.RZ
+			}
+		} else {
+			w.reuseValid = false
+		}
+	}
+	w.lastYield = in.Ctrl.Yield
+	sc.last = w
+	return nil
+}
+
+// retireBlock removes a finished block and schedules a replacement.
+func (sm *smSim) retireBlock(blk *blockState) {
+	sm.resident--
+	for _, sc := range sm.scheds {
+		kept := sc.warps[:0]
+		for _, w := range sc.warps {
+			if w.block != blk {
+				kept = append(kept, w)
+			}
+		}
+		sc.warps = kept
+		if sc.last != nil && sc.last.block == blk {
+			sc.last = nil
+		}
+	}
+	if len(sm.pending) > 0 {
+		sm.events = append(sm.events, event{at: sm.now + blockStartGap, kind: evBlockLoad})
+	}
+}
+
+// issueMem models the MIO front end and performs the data movement.
+func (sm *smSim) issueMem(w *warp, in *sass.Inst, req *memRequest, base int64) error {
+	sm.m.MemIssued++
+	start := base + 1
+	var serviceEnd int64
+	var dataAt int64
+
+	if req.shared {
+		if req.op == sass.OpLDS {
+			sm.m.LDSCount++
+		} else {
+			sm.m.STSCount++
+		}
+		if start < sm.smemFree {
+			start = sm.smemFree
+		}
+		svc, conflicts := smemService(req)
+		sm.m.SmemConflictCycles += int64(conflicts)
+		serviceEnd = start + int64(svc)
+		sm.smemFree = serviceEnd
+		sm.dispQ = append(sm.dispQ, start)
+		dataAt = serviceEnd + smemLatency
+		if err := sm.moveShared(w, in, req); err != nil {
+			return err
+		}
+	} else {
+		if req.op == sass.OpLDG {
+			sm.m.LDGCount++
+		} else {
+			sm.m.STGCount++
+		}
+		if start < sm.globFree {
+			start = sm.globFree
+		}
+		// Service cost scales with the 128-byte lines touched: the
+		// L1/tag path moves one line per cycle; an uncoalesced access
+		// pays per line.
+		lines := distinctLines(req)
+		svc := int64(len(lines))
+		if svc < int64(sm.dev.LDGServiceCycles) {
+			svc = int64(sm.dev.LDGServiceCycles)
+		}
+		serviceEnd = start + svc
+		sm.globFree = serviceEnd
+		sm.dispQ = append(sm.dispQ, start)
+		dataAt = serviceEnd + int64(sm.dev.L2LatencyCycles)
+		if req.load {
+			// Timing: probe the L2 model per 128-byte line.
+			for _, ln := range lines {
+				if sm.l2.access(ln * l2Line) {
+					sm.m.L2Hits++
+					continue
+				}
+				sm.m.L2Misses++
+				t := serviceEnd
+				if sm.dramFree > t {
+					t = sm.dramFree
+				}
+				sm.dramFree = t + int64(sm.bwCycles)
+				ret := sm.dramFree + int64(sm.dev.DRAMLatencyCycles-sm.dev.L2LatencyCycles)
+				if ret > dataAt {
+					dataAt = ret
+				}
+			}
+		}
+		if err := sm.moveGlobal(w, in, req); err != nil {
+			return err
+		}
+		// Loads hold an MSHR until the data returns.
+		if req.load {
+			sm.globQ = append(sm.globQ, dataAt)
+		}
+	}
+
+	if in.Ctrl.WriteBar >= 0 {
+		w.barPending[in.Ctrl.WriteBar]++
+		sm.events = append(sm.events, event{at: dataAt, kind: evBarRelease, warp: w, bar: in.Ctrl.WriteBar})
+		if sm.sim.HazardCheck && req.load {
+			for _, r := range destRegs(in) {
+				w.regBar[r] = in.Ctrl.WriteBar
+				w.barRegs[in.Ctrl.WriteBar] = append(w.barRegs[in.Ctrl.WriteBar], r)
+			}
+		}
+	} else if req.load && sm.sim.HazardCheck {
+		sm.violation(w, in, "load without a write barrier")
+	}
+	if in.Ctrl.ReadBar >= 0 {
+		w.barPending[in.Ctrl.ReadBar]++
+		sm.events = append(sm.events, event{at: serviceEnd, kind: evBarRelease, warp: w, bar: in.Ctrl.ReadBar})
+	}
+	return nil
+}
+
+// distinctLines lists the 128-byte line indices a global access touches.
+func distinctLines(req *memRequest) []uint32 {
+	var lines []uint32
+	for l := 0; l < warpSize; l++ {
+		if !req.active[l] {
+			continue
+		}
+		for b := 0; b < int(req.width); b += 4 {
+			ln := (req.addrs[l] + uint32(b)) / l2Line
+			dup := false
+			for _, e := range lines {
+				if e == ln {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				lines = append(lines, ln)
+			}
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	return lines
+}
+
+func (sm *smSim) moveShared(w *warp, in *sass.Inst, req *memRequest) error {
+	words := in.Width.Regs()
+	if in.Width == sass.W128 && in.Rd != sass.RZ && req.load && int(in.Rd)%4 != 0 {
+		return fmt.Errorf("LDS.128 destination %s is not a 128-bit aligned vector register (pc %d)", in.Rd, w.pc-1)
+	}
+	smemWords := len(w.block.smem)
+	for l := 0; l < warpSize; l++ {
+		if !req.active[l] {
+			continue
+		}
+		addr := req.addrs[l]
+		if err := checkAligned(addr, int(in.Width)); err != nil {
+			return fmt.Errorf("%w (pc %d, lane %d)", err, w.pc-1, l)
+		}
+		wd := int(addr / 4)
+		if wd+words > smemWords {
+			return fmt.Errorf("shared-memory access at 0x%x+%dB out of bounds (%d B allocated, pc %d)",
+				addr, words*4, sm.kern.SmemBytes, w.pc-1)
+		}
+		for j := 0; j < words; j++ {
+			if req.load {
+				w.writeReg(in.Rd+sass.Reg(j), l, w.block.smem[wd+j])
+			} else {
+				w.block.smem[wd+j] = w.readReg(in.Rs2+sass.Reg(j), l)
+			}
+		}
+	}
+	return nil
+}
+
+func (sm *smSim) moveGlobal(w *warp, in *sass.Inst, req *memRequest) error {
+	words := in.Width.Regs()
+	for l := 0; l < warpSize; l++ {
+		if !req.active[l] {
+			continue
+		}
+		addr := req.addrs[l]
+		if err := checkAligned(addr, int(in.Width)); err != nil {
+			return fmt.Errorf("%w (pc %d, lane %d)", err, w.pc-1, l)
+		}
+		for j := 0; j < words; j++ {
+			if req.load {
+				w.writeReg(in.Rd+sass.Reg(j), l, sm.sim.mem.load(addr+uint32(j*4)))
+			} else {
+				sm.sim.mem.store(addr+uint32(j*4), w.readReg(in.Rs2+sass.Reg(j), l))
+			}
+		}
+	}
+	return nil
+}
+
+// regBankConflict applies the paper's footnote-6 rule: a conflict occurs
+// when all three live source-register reads fall in the same 64-bit bank
+// (odd or even index). Operands served by the reuse cache do not read the
+// register file.
+func (sm *smSim) regBankConflict(w *warp, in *sass.Inst) bool {
+	slots := [3]sass.Reg{in.Rs0, sass.RZ, in.Rs2}
+	if in.SrcMode == sass.SrcReg {
+		slots[1] = in.Rs1
+	}
+	var live []sass.Reg
+	for s, r := range slots {
+		if r == sass.RZ {
+			continue
+		}
+		if w.reuseValid && w.reuseMask&(1<<uint(s)) != 0 && w.reuseRegs[s] == r {
+			continue // served from the operand reuse cache
+		}
+		dup := false
+		for _, e := range live {
+			if e == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			live = append(live, r)
+		}
+	}
+	if len(live) < 3 {
+		return false
+	}
+	parity := live[0] & 1
+	for _, r := range live[1:] {
+		if r&1 != parity {
+			return false
+		}
+	}
+	return true
+}
+
+// noteFixedWrite records result latency for the hazard checker.
+func (sm *smSim) noteFixedWrite(w *warp, in *sass.Inst, latency int64) {
+	if !sm.sim.HazardCheck {
+		return
+	}
+	for _, r := range destRegs(in) {
+		w.regReadyAt[r] = sm.now + latency
+	}
+}
+
+// checkHazards flags reads of registers whose producer has not completed.
+func (sm *smSim) checkHazards(w *warp, in *sass.Inst, srcs []sass.Reg) {
+	check := func(r sass.Reg, kind string) {
+		if r == sass.RZ {
+			return
+		}
+		if b := w.regBar[r]; b >= 0 && w.barPending[b] > 0 {
+			sm.violation(w, in, fmt.Sprintf("%s of %s before barrier %d release", kind, r, b))
+			return
+		}
+		if kind == "read" && sm.now < w.regReadyAt[r] {
+			sm.violation(w, in, fmt.Sprintf("read of %s %d cycles early (stall too small)", r, w.regReadyAt[r]-sm.now))
+		}
+	}
+	for _, r := range srcs {
+		check(r, "read")
+	}
+	for _, r := range destRegs(in) {
+		check(r, "overwrite")
+	}
+}
+
+func (sm *smSim) violation(w *warp, in *sass.Inst, msg string) {
+	if len(sm.m.HazardViolations) >= maxViolations {
+		return
+	}
+	sm.m.HazardViolations = append(sm.m.HazardViolations,
+		fmt.Sprintf("cycle %d block %d warp %d pc %d (%s): %s",
+			sm.now, w.block.blockIdx, w.idx, w.pc-1, in.Op, msg))
+}

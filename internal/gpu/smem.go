@@ -1,0 +1,105 @@
+package gpu
+
+import "repro/internal/sass"
+
+// Shared memory has 32 banks of 4 bytes. Wide accesses are processed in
+// phases that each move at most 128 bytes: a 128-bit access is serviced in
+// four phases of 8 lanes, a 64-bit access in two phases of 16 lanes, and a
+// 32-bit access in a single 32-lane phase. Within a phase, lanes that
+// address the same width-sized word are merged (broadcast); the phase then
+// takes as many cycles as the most-loaded bank has distinct words.
+//
+// This is the model under which the paper's Figure 3 arrangement is
+// conflict-free while seemingly-equivalent arrangements are not: merging
+// happens per accessed word, not per byte of overlap, so two lanes hitting
+// different words in one bank serialize even when a naive reading of the
+// programming guide suggests a broadcast.
+const smemBanks = 32
+
+// smemService returns the total service cycles for a shared-memory warp
+// access and how many of those cycles are bank-conflict overhead.
+func smemService(req *memRequest) (cycles, conflictCycles int) {
+	lanesPerPhase := warpSize
+	switch req.width {
+	case sass.W64:
+		lanesPerPhase = 16
+	case sass.W128:
+		lanesPerPhase = 8
+	}
+	wordsPerAccess := req.width.Regs()
+	for start := 0; start < warpSize; start += lanesPerPhase {
+		// Distinct word-aligned access addresses in this phase.
+		var accesses []uint32
+		anyActive := false
+		for l := start; l < start+lanesPerPhase; l++ {
+			if !req.active[l] {
+				continue
+			}
+			anyActive = true
+			addr := req.addrs[l] &^ uint32(req.width-1) // align to access width
+			dup := false
+			for _, a := range accesses {
+				if a == addr {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				accesses = append(accesses, addr)
+			}
+		}
+		if !anyActive {
+			continue
+		}
+		// Count distinct words per bank.
+		var perBank [smemBanks]int
+		for _, a := range accesses {
+			firstWord := a / 4
+			for j := 0; j < wordsPerAccess; j++ {
+				perBank[(firstWord+uint32(j))%smemBanks]++
+			}
+		}
+		phase := 1
+		for _, n := range perBank {
+			if n > phase {
+				phase = n
+			}
+		}
+		cycles += phase
+		conflictCycles += phase - 1
+	}
+	if cycles == 0 {
+		cycles = 1 // fully predicated-off access still occupies the pipe briefly
+	}
+	return cycles, conflictCycles
+}
+
+// globalSectors returns the number of distinct 32-byte sectors a global
+// warp access touches — the coalescing metric. A fully coalesced 32-lane
+// 4-byte access touches 4 sectors (128 bytes); a strided access can touch
+// up to 32.
+func globalSectors(req *memRequest) int {
+	var sectors []uint32
+	for l := 0; l < warpSize; l++ {
+		if !req.active[l] {
+			continue
+		}
+		for b := 0; b < int(req.width); b += 4 {
+			s := (req.addrs[l] + uint32(b)) / 32
+			dup := false
+			for _, e := range sectors {
+				if e == s {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				sectors = append(sectors, s)
+			}
+		}
+	}
+	if len(sectors) == 0 {
+		return 1
+	}
+	return len(sectors)
+}

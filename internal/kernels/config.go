@@ -1,0 +1,142 @@
+// Package kernels generates the SASS source of the paper's fused
+// F(2x2,3x3) Winograd convolution kernels, assembles them with the
+// turingas assembler, and runs them on the gpu simulator. The generator
+// plays the role of the paper's inline-Python TuringAs templates: it emits
+// the fully unrolled main loop with explicit control codes, the Figure-3
+// fragment addressing, the Figure-4 register allocation with .reuse
+// scheduling, P2R/R2P-packed zero-padding masks, and the 4-round padded
+// output transpose.
+//
+// One generator produces both the paper's kernel (bk=64) and the
+// cuDNN-like baseline (bk=32, yield cleared every 7 float instructions,
+// LDG2/STS2 spacing) — the Section 6 scheduling studies are knobs.
+package kernels
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config selects the kernel variant and its SASS-level scheduling knobs.
+type Config struct {
+	// BK is the filter-dimension cache block size: 64 for the paper's
+	// kernel, 32 for the cuDNN-like baseline (Section 3.3).
+	BK int
+	// YieldEvery clears the yield flag every N float instructions in the
+	// main loop; 0 is the paper's "Natural" strategy (never clear),
+	// 7 mimics cuDNN, 8 mimics NVCC (Section 6.1).
+	YieldEvery int
+	// LDGGap is the number of FFMAs between consecutive LDG instructions
+	// (Section 6.2: cuDNN uses 2, the paper uses 8).
+	LDGGap int
+	// STSGap is the number of float instructions between consecutive STS
+	// instructions in the store phase (Section 6.2: 2 vs 6).
+	STSGap int
+	// UseP2R packs the 16 zero-padding predicates into one register and
+	// unpacks them with R2P inside the loop (Section 3.5). When false,
+	// the masks are recomputed with ISETPs every iteration — the
+	// behaviour P2R eliminates.
+	UseP2R bool
+	// DeclaredSmem overrides the shared-memory declaration (cuDNN's
+	// kernel reserves 48 KB regardless of its layout; occupancy follows
+	// the declaration). 0 uses the layout's actual requirement.
+	DeclaredSmem int
+}
+
+// Ours returns the paper's kernel configuration (Table 7 left column).
+func Ours() Config {
+	return Config{BK: 64, YieldEvery: 0, LDGGap: 8, STSGap: 6, UseP2R: true}
+}
+
+// CuDNNLike returns the baseline configuration modelled on cuDNN 7.6.1's
+// fused Winograd kernel (Table 7 right column and Section 6 observations:
+// bk=32, yield cleared every 7 float instructions, LDG2, STS2).
+func CuDNNLike() Config {
+	return Config{BK: 32, YieldEvery: 7, LDGGap: 2, STSGap: 2, UseP2R: true, DeclaredSmem: 48 * 1024}
+}
+
+func (c Config) withDefaults() Config {
+	if c.BK == 0 {
+		c.BK = 64
+	}
+	if c.LDGGap == 0 {
+		c.LDGGap = 8
+	}
+	if c.STSGap == 0 {
+		c.STSGap = 6
+	}
+	return c
+}
+
+// Validate rejects unsupported configurations.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.BK != 64 && c.BK != 32 {
+		return fmt.Errorf("kernels: BK must be 64 or 32, got %d", c.BK)
+	}
+	if c.LDGGap < 1 || c.STSGap < 1 {
+		return fmt.Errorf("kernels: gaps must be positive")
+	}
+	return nil
+}
+
+// Problem is a batched 3x3 convolution shape (stride 1, pad 1 — the
+// ResNet configuration the paper evaluates).
+type Problem struct {
+	C, K, N, H, W int
+}
+
+// Validate checks the generator's preconditions (paper Section 8.3: full
+// performance requires N a multiple of 32, K a multiple of bk, C a
+// multiple of 8). Odd H/W are supported with predicated edge stores —
+// F(2x2,3x3) then computes discarded pixels, the effect behind the
+// paper's Conv5 (7x7) observations.
+func (p Problem) Validate(bk int) error {
+	switch {
+	case p.N <= 0 || p.N%32 != 0:
+		return fmt.Errorf("kernels: N=%d must be a positive multiple of 32", p.N)
+	case p.K <= 0 || p.K%bk != 0:
+		return fmt.Errorf("kernels: K=%d must be a positive multiple of bk=%d", p.K, bk)
+	case p.C <= 0 || p.C%8 != 0:
+		return fmt.Errorf("kernels: C=%d must be a positive multiple of 8", p.C)
+	case p.H < 2 || p.W < 2:
+		return fmt.Errorf("kernels: H=%d, W=%d must be at least 2", p.H, p.W)
+	}
+	return nil
+}
+
+// TilesH and TilesW are the output-tile grid dimensions (ceiling: the
+// bottom/right tiles of an odd image are partial).
+func (p Problem) TilesH() int { return (p.H + 1) / 2 }
+func (p Problem) TilesW() int { return (p.W + 1) / 2 }
+
+// FLOPs returns the direct-convolution-equivalent floating point
+// operations, the basis of the paper's TFLOPS numbers.
+func (p Problem) FLOPs() float64 {
+	return 2 * float64(p.N) * float64(p.C) * float64(p.H) * float64(p.W) * float64(p.K) * 9
+}
+
+// magic computes multiply-shift constants for unsigned division by d:
+// q = umulhi(n, M) >> s. With M = ceil(2^32 / d) and s = 0 the result is
+// exact whenever n*d < 2^32 — amply true for the tile indices the kernels
+// divide (spatial tile index < 2^16, tilesW < 2^16). Powers of two take
+// the pure-shift path (M = 0 marker).
+func magic(d uint32) (m uint32, s uint32) {
+	if d == 0 {
+		panic("kernels: division by zero")
+	}
+	if d&(d-1) == 0 {
+		return 0, uint32(bits.TrailingZeros32(d))
+	}
+	m = uint32(((uint64(1) << 32) + uint64(d) - 1) / uint64(d))
+	return m, 0
+}
+
+// divMagic applies the magic constants on the host (mirror of the SASS
+// sequence; used for tests).
+func divMagic(n, m, s uint32) uint32 {
+	if m == 0 {
+		return n >> s
+	}
+	return uint32((uint64(n) * uint64(m)) >> 32 >> s)
+}

@@ -1,0 +1,154 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ctrl renders a control-code prefix for the assembler.
+type ctrl struct {
+	wait   uint8
+	rd, wr int8 // -1 = none
+	yield  bool
+	stall  int
+}
+
+func c0() ctrl { return ctrl{rd: -1, wr: -1, yield: true, stall: 1} }
+
+func (c ctrl) w(mask uint8) ctrl { c.wait |= mask; return c }
+func (c ctrl) writeBar(b int) ctrl {
+	c.wr = int8(b)
+	return c
+}
+func (c ctrl) readBar(b int) ctrl {
+	c.rd = int8(b)
+	return c
+}
+func (c ctrl) st(n int) ctrl { c.stall = n; return c }
+func (c ctrl) noYield() ctrl { c.yield = false; return c }
+
+func (c ctrl) String() string {
+	wait := "--"
+	if c.wait != 0 {
+		wait = fmt.Sprintf("%02x", c.wait)
+	}
+	rb, wb := "-", "-"
+	if c.rd >= 0 {
+		rb = fmt.Sprintf("%d", c.rd)
+	}
+	if c.wr >= 0 {
+		wb = fmt.Sprintf("%d", c.wr)
+	}
+	y := "-"
+	if c.yield {
+		y = "Y"
+	}
+	return fmt.Sprintf("%s:%s:%s:%s:%d", wait, rb, wb, y, c.stall)
+}
+
+// Weave channels. The LDS channel carries the per-step fragment prefetch;
+// the LDG channel carries the next iteration's global loads (and their
+// predicate bookkeeping); the STS channel is used in the store phase.
+const (
+	chLDS = iota
+	chLDG
+	chSTS
+	numChannels
+)
+
+type auxInst struct {
+	c    ctrl
+	text string
+	gap  int // minimum float instructions since the previous insert
+}
+
+type channelState struct {
+	items []auxInst
+	since int
+}
+
+// emitter accumulates assembler source and implements the instruction
+// weaving behind the paper's Section 6 studies: a primary float-pipe
+// stream with auxiliary memory instructions inserted every N float
+// instructions (LDGn / STSn), and the yield-flag strategy applied to the
+// float stream (Natural / every-7 / every-8).
+type emitter struct {
+	b          strings.Builder
+	floatCount int
+	yieldEvery int
+	ch         [numChannels]channelState
+}
+
+func newEmitter(yieldEvery int) *emitter {
+	e := &emitter{yieldEvery: yieldEvery}
+	for i := range e.ch {
+		e.ch[i].since = 1 << 20 // first item inserts immediately
+	}
+	return e
+}
+
+// raw emits a directive or label verbatim.
+func (e *emitter) raw(s string) { e.b.WriteString(s + "\n") }
+
+// ins emits one instruction with its control code, bypassing the weaver.
+func (e *emitter) ins(c ctrl, format string, args ...any) {
+	fmt.Fprintf(&e.b, "%s  %s\n", c.String(), fmt.Sprintf(format, args...))
+}
+
+// flt emits a float-pipe instruction: it ticks the weave channels and
+// applies the yield strategy.
+func (e *emitter) flt(c ctrl, format string, args ...any) {
+	e.floatCount++
+	if e.yieldEvery > 0 && e.floatCount%e.yieldEvery == 0 {
+		c = c.noYield()
+	}
+	e.ins(c, format, args...)
+	for i := range e.ch {
+		e.ch[i].since++
+	}
+	e.drain()
+}
+
+// queue schedules an instruction on a weave channel. gap is the minimum
+// number of float instructions between this insert and the previous one
+// on the same channel (gap 0 chains it to the preceding item).
+func (e *emitter) queue(channel int, gap int, c ctrl, format string, args ...any) {
+	e.ch[channel].items = append(e.ch[channel].items,
+		auxInst{c: c, text: fmt.Sprintf(format, args...), gap: gap})
+}
+
+func (e *emitter) drain() {
+	for i := range e.ch {
+		ch := &e.ch[i]
+		for len(ch.items) > 0 && ch.since >= ch.items[0].gap {
+			a := ch.items[0]
+			ch.items = ch.items[1:]
+			e.ins(a.c, "%s", a.text)
+			if a.gap > 0 {
+				ch.since = 0
+			}
+		}
+	}
+}
+
+// flush emits everything still queued on a channel, back to back.
+func (e *emitter) flush(channel int) {
+	ch := &e.ch[channel]
+	for _, a := range ch.items {
+		e.ins(a.c, "%s", a.text)
+	}
+	ch.items = nil
+	ch.since = 1 << 20
+}
+
+// pendingAux reports whether any channel still has queued instructions.
+func (e *emitter) pendingAux() bool {
+	for i := range e.ch {
+		if len(e.ch[i].items) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *emitter) source() string { return e.b.String() }

@@ -1,0 +1,178 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sass"
+	"repro/internal/turingas"
+)
+
+// countLines counts source lines containing the marker.
+func countLines(src, marker string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, marker) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestMainLoopInstructionBudget pins the generated kernel to the paper's
+// published per-iteration instruction counts (Sections 4.2-4.3): 1024
+// FFMAs, 32 ITF FADDs, 64 LDS.128 fragment loads per thread per
+// iteration, and the P2R/R2P predicate machinery.
+func TestMainLoopInstructionBudget(t *testing.T) {
+	src, err := Source(Ours(), smallProblem(64), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Isolate the loop body (between "top:" and "done:").
+	body := src[strings.Index(src, "top:"):strings.Index(src, "done:")]
+
+	if got := countLines(body, "FFMA"); got != 1024 {
+		t.Fatalf("loop body has %d FFMAs, want 1024 (paper Section 4.2)", got)
+	}
+	if got := countLines(body, "FADD"); got != 32 {
+		t.Fatalf("loop body has %d FADDs, want 32 (ITF, paper Section 4.2)", got)
+	}
+	if got := countLines(body, "LDS.128"); got != 64 {
+		t.Fatalf("loop body has %d LDS.128, want 64 (8 per step, Section 3.4)", got)
+	}
+	// Fragment double-buffer + staging: 16 input LDG.32 + 8 filter LDG.128.
+	if got := countLines(body, "LDG.128"); got != 8 {
+		t.Fatalf("loop body has %d LDG.128, want 8 filter staging loads", got)
+	}
+	if got := countLines(body, "LDG R"); got != 16 {
+		t.Fatalf("loop body has %d LDG.32, want 16 input staging loads", got)
+	}
+	if got := countLines(body, "R2P"); got == 0 {
+		t.Fatal("P2R kernel must unpack masks with R2P in the loop (Section 3.5)")
+	}
+	if got := countLines(body, "BAR.SYNC"); got != 2 {
+		t.Fatalf("loop body has %d barriers, want 2 (around the store phase)", got)
+	}
+}
+
+// TestReuseFlagsFollowPaperScheme checks the Figure-4 scheduling rule:
+// within each 8-FFMA column, the filter operand carries .reuse on all but
+// the last FFMA — 7/8 of the main loop's FFMAs.
+func TestReuseFlagsFollowPaperScheme(t *testing.T) {
+	src, err := Source(Ours(), smallProblem(64), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := src[strings.Index(src, "top:"):]
+	ffma := countLines(body, "FFMA")
+	reuse := countLines(body, ".reuse")
+	if ffma == 0 {
+		t.Fatal("no FFMAs found")
+	}
+	want := ffma * 7 / 8
+	if reuse != want {
+		t.Fatalf(".reuse on %d of %d FFMAs, want %d (7 of every 8)", reuse, ffma, want)
+	}
+}
+
+// TestYieldStrategyChangesOnlyControlBits verifies the Section-6.1 setup:
+// the Natural and every-7 kernels must be identical except for yield bits.
+func TestYieldStrategyChangesOnlyControlBits(t *testing.T) {
+	natural, err := Source(Ours(), smallProblem(64), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Ours()
+	cfg.YieldEvery = 7
+	every7, err := Source(cfg, smallProblem(64), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := strings.Split(natural, "\n")
+	b := strings.Split(every7, "\n")
+	if len(a) != len(b) {
+		t.Fatalf("line counts differ: %d vs %d", len(a), len(b))
+	}
+	diff := 0
+	for i := range a {
+		if a[i] == b[i] {
+			continue
+		}
+		diff++
+		// The only allowed difference is the yield field of the control
+		// prefix: "...:Y:n" vs "...:-:n".
+		if strings.Replace(a[i], ":Y:", ":-:", 1) != b[i] {
+			t.Fatalf("line %d differs beyond the yield bit:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+	if diff == 0 {
+		t.Fatal("strategies produced identical code; yield bits missing")
+	}
+}
+
+// TestNoP2RVariantRecomputesMasks verifies the ablation actually swaps
+// the mechanism (Section 3.5: without packing, the zero-padding masks are
+// recomputed every iteration).
+func TestNoP2RVariantRecomputesMasks(t *testing.T) {
+	cfg := Ours()
+	cfg.UseP2R = false
+	src, err := Source(cfg, smallProblem(64), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := src[strings.Index(src, "top:"):strings.Index(src, "done:")]
+	if countLines(body, "R2P") != 0 {
+		t.Fatal("no-P2R variant must not use R2P in the loop")
+	}
+	if countLines(body, "ISETP.NE") < 16 {
+		t.Fatal("no-P2R variant must recompute the 16 mask predicates")
+	}
+}
+
+// TestCuDNNLikeHalvesTheBlock checks the bk=32 variant's shape: half the
+// FFMAs per thread per iteration and half the filter staging.
+func TestCuDNNLikeHalvesTheBlock(t *testing.T) {
+	src, err := Source(CuDNNLike(), smallProblem(32), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := src[strings.Index(src, "top:"):strings.Index(src, "done:")]
+	if got := countLines(body, "FFMA"); got != 512 {
+		t.Fatalf("bk=32 loop has %d FFMAs, want 512", got)
+	}
+	if got := countLines(body, "LDG.128"); got != 4 {
+		t.Fatalf("bk=32 loop has %d filter LDG.128, want 4", got)
+	}
+}
+
+// TestGeneratedKernelDisassemblyRoundtrips validates the full toolchain:
+// generate -> assemble -> disassemble -> reassemble must reproduce the
+// identical encoding for the complete fused kernel (thousands of
+// instructions using every control-code feature).
+func TestGeneratedKernelDisassemblyRoundtrips(t *testing.T) {
+	for _, cfg := range []Config{Ours(), CuDNNLike()} {
+		k, err := Generate(cfg, smallProblem(cfg.BK), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dis, err := turingas.Disassemble(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, err := turingas.AssembleKernel(dis)
+		if err != nil {
+			t.Fatalf("bk=%d disassembly did not reassemble: %v", cfg.BK, err)
+		}
+		if len(k2.Code) != len(k.Code) {
+			t.Fatalf("bk=%d instruction count changed: %d -> %d", cfg.BK, len(k.Code), len(k2.Code))
+		}
+		for i := range k.Code {
+			if k.Code[i] != k2.Code[i] {
+				in1, _ := sass.Decode(k.Code[i])
+				in2, _ := sass.Decode(k2.Code[i])
+				t.Fatalf("bk=%d word %d changed:\n  orig %s [%s]\n  back %s [%s]",
+					cfg.BK, i, in1, in1.Ctrl, in2, in2.Ctrl)
+			}
+		}
+	}
+}

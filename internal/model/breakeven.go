@@ -1,0 +1,39 @@
+package model
+
+import "repro/internal/gpu"
+
+// FusedSeconds is the paper's Section 8.1 model of the fused F(2x2,3x3)
+// kernel: data loading hidden by computation, transform time ignored.
+//
+//	t = 2*N*C*H*W*K*R*S / (2.25 * FLOPS)
+func FusedSeconds(s Shape, dev gpu.Device) float64 {
+	return s.FLOPs() / 2.25 / (dev.PeakFP32TFLOPS() * 1e12)
+}
+
+// NonfusedSeconds is the paper's Section 8.1 model of the non-fused
+// F(4x4,3x3) implementation: a 4x multiplication reduction plus the
+// memory-bound transform passes, whose transformed input is
+// (6x6)/(4x4) = 2.25x the original:
+//
+//	t = 2*N*C*H*W*K*R*S / (4 * FLOPS) + N*C*H*W * (1+2.25) * 2 * 4B / BW
+func NonfusedSeconds(s Shape, dev gpu.Device) float64 {
+	peak := dev.PeakFP32TFLOPS() * 1e12
+	bw := dev.DRAMBandwidthGBs * 1e9
+	nchw := float64(s.N) * float64(s.C) * float64(s.H) * float64(s.W)
+	return s.FLOPs()/4/peak + nchw*(1+2.25)*2*4/bw
+}
+
+// BreakEvenK sweeps K and returns the smallest K at which the non-fused
+// model becomes faster than the fused one. The paper finds K=129 on V100
+// and K=127 on RTX2070; note the crossover is independent of the layer's
+// N, C, H, W under this model (both sides scale the same way).
+func BreakEvenK(s Shape, dev gpu.Device, maxK int) int {
+	for k := 1; k <= maxK; k++ {
+		t := s
+		t.K = k
+		if NonfusedSeconds(t, dev) < FusedSeconds(t, dev) {
+			return k
+		}
+	}
+	return maxK + 1
+}

@@ -1,0 +1,61 @@
+package model
+
+import "repro/internal/gpu"
+
+// RooflinePoint is one kernel/step placed on the device roofline
+// (Figure 2): its arithmetic intensity against DRAM traffic and the
+// TFLOPS attainable at that intensity.
+type RooflinePoint struct {
+	Name        string
+	OpsPerByte  float64
+	AttainTFLOP float64
+	MemoryBound bool
+}
+
+// Roofline reproduces the paper's Figure 2 analysis for a device: the
+// Winograd transform steps are memory-bound, and growing the cache block
+// from bk=32 to bk=64 raises the EWMM step's arithmetic intensity from
+// 8 to 10.67 ops/byte (+33%).
+func Roofline(dev gpu.Device) []RooflinePoint {
+	points := []struct {
+		name string
+		ai   float64
+	}{
+		// ITF: 32 FADDs transform a 16-float tile read + written: 32/(32*4).
+		{"ITF", 32.0 / 128},
+		// FTF: 28 float ops over 9 in + 16 out floats.
+		{"FTF", 28.0 / ((9 + 16) * 4)},
+		// OTF: 24 FADDs over 16 in + 4 out floats.
+		{"OTF", 24.0 / ((16 + 4) * 4)},
+		// Batched GEMM per main-loop iteration: FLOPs = bk*bn*16*bc*2
+		// over (bk + bn)*bc*16*4 bytes.
+		{"batched GEMM (bk=32)", gemmAI(32)},
+		{"batched GEMM (bk=64)", gemmAI(64)},
+		// Direct convolution with a 64-filter block over 32 output
+		// pixels per channel iteration: 2*64*32*9 FLOPs against a
+		// 6x10 haloed input patch plus 64 3x3 filters.
+		{"direct convolution (bk=64)", 2 * 64 * 32 * 9 / ((60 + 64*9) * 4.0)},
+	}
+	peak := dev.PeakFP32TFLOPS()
+	bw := dev.DRAMBandwidthGBs / 1000 // TB/s
+	out := make([]RooflinePoint, len(points))
+	for i, p := range points {
+		attain := p.ai * bw
+		mb := true
+		if attain > peak {
+			attain = peak
+			mb = false
+		}
+		out[i] = RooflinePoint{Name: p.name, OpsPerByte: p.ai, AttainTFLOP: attain, MemoryBound: mb}
+	}
+	return out
+}
+
+// gemmAI is the EWMM arithmetic intensity for a given bk (paper Section
+// 3.3: 8 ops/byte at bk=32, 10.67 at bk=64).
+func gemmAI(bk int) float64 {
+	const bn, bc = 32, 8
+	flops := float64(bk) * bn * 16 * bc * 2
+	bytes := float64(bk+bn) * bc * 16 * 4
+	return flops / bytes
+}

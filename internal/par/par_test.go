@@ -1,0 +1,38 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRunsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 1000
+		counts := make([]int64, n)
+		For(n, workers, func(i int) {
+			atomic.AddInt64(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	ran := false
+	For(0, 4, func(int) { ran = true })
+	For(-3, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("For must not call f for n <= 0")
+	}
+}
+
+func TestForMoreWorkersThanWork(t *testing.T) {
+	var total int64
+	For(3, 100, func(i int) { atomic.AddInt64(&total, int64(i)) })
+	if total != 3 {
+		t.Fatalf("sum = %d, want 3", total)
+	}
+}

@@ -1,0 +1,196 @@
+package sass
+
+import "fmt"
+
+// Word is one encoded 128-bit instruction, split into two machine words.
+// Following the paper's Figure 6, the low word carries opcode, predicate
+// guard and register operands, and the high word carries the 32-bit
+// immediate/constant field plus the control code.
+type Word struct {
+	Lo, Hi uint64
+}
+
+// Bit layout. Every field lives entirely inside one 64-bit half.
+const (
+	// low word
+	bOpcode  = 0  // 12 bits
+	bPred    = 12 // 4 bits
+	bPredNeg = 16 // 1 bit
+	bRd      = 17 // 8 bits
+	bRs0     = 25 // 8 bits
+	bSrcMode = 33 // 2 bits
+	bRs1     = 35 // 8 bits
+	bRs2     = 43 // 8 bits
+	bPd      = 51 // 4 bits
+	bSrcPred = 55 // 4 bits
+	bWidth   = 59 // 2 bits
+	bCmp     = 61 // 3 bits
+
+	// high word (offsets relative to bit 64)
+	bImm      = 0  // 32 bits
+	bLut      = 32 // 8 bits
+	bReuse    = 40 // 4 bits
+	bWait     = 44 // 6 bits
+	bReadBar  = 50 // 3 bits (7 = none)
+	bWriteBar = 53 // 3 bits (7 = none)
+	bYield    = 56 // 1 bit
+	bStall    = 57 // 4 bits
+	bShRight  = 61 // 1 bit
+	bNegA     = 62 // 1 bit
+	bNegB     = 63 // 1 bit
+)
+
+func get(w uint64, off, width uint) uint64 {
+	return (w >> off) & ((1 << width) - 1)
+}
+
+func put(w *uint64, off, width uint, v uint64) {
+	mask := uint64((1<<width)-1) << off
+	*w = (*w &^ mask) | ((v << off) & mask)
+}
+
+func widthCode(w MemWidth) uint64 {
+	switch w {
+	case W64:
+		return 1
+	case W128:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func widthFromCode(c uint64) MemWidth {
+	switch c {
+	case 1:
+		return W64
+	case 2:
+		return W128
+	default:
+		return W32
+	}
+}
+
+// Encode packs the instruction into its 128-bit form.
+func (i Inst) Encode() Word {
+	var w Word
+	put(&w.Lo, bOpcode, 12, uint64(i.Op))
+	put(&w.Lo, bPred, 4, uint64(i.Pred))
+	if i.PredNeg {
+		put(&w.Lo, bPredNeg, 1, 1)
+	}
+	put(&w.Lo, bRd, 8, uint64(i.Rd))
+	put(&w.Lo, bRs0, 8, uint64(i.Rs0))
+	put(&w.Lo, bSrcMode, 2, uint64(i.SrcMode))
+	put(&w.Lo, bRs1, 8, uint64(i.Rs1))
+	put(&w.Lo, bRs2, 8, uint64(i.Rs2))
+	put(&w.Lo, bPd, 4, uint64(i.Pd))
+	put(&w.Lo, bSrcPred, 4, uint64(i.SrcPred))
+	put(&w.Lo, bWidth, 2, widthCode(i.Width))
+	put(&w.Lo, bCmp, 3, uint64(i.Cmp))
+
+	imm := i.Imm
+	if i.SrcMode == SrcConst {
+		imm = uint32(i.ConstBank) | uint32(i.ConstOfs)<<8
+	}
+	put(&w.Hi, bImm, 32, uint64(imm))
+	put(&w.Hi, bLut, 8, uint64(i.Lut))
+	put(&w.Hi, bReuse, 4, uint64(i.Ctrl.Reuse))
+	put(&w.Hi, bWait, 6, uint64(i.Ctrl.WaitMask))
+	rb, wb := uint64(7), uint64(7)
+	if i.Ctrl.ReadBar >= 0 {
+		rb = uint64(i.Ctrl.ReadBar)
+	}
+	if i.Ctrl.WriteBar >= 0 {
+		wb = uint64(i.Ctrl.WriteBar)
+	}
+	put(&w.Hi, bReadBar, 3, rb)
+	put(&w.Hi, bWriteBar, 3, wb)
+	if i.Ctrl.Yield {
+		put(&w.Hi, bYield, 1, 1)
+	}
+	put(&w.Hi, bStall, 4, uint64(i.Ctrl.Stall))
+	if i.ShRight {
+		put(&w.Hi, bShRight, 1, 1)
+	}
+	if i.NegA {
+		put(&w.Hi, bNegA, 1, 1)
+	}
+	if i.NegB {
+		put(&w.Hi, bNegB, 1, 1)
+	}
+	return w
+}
+
+// Decode unpacks a 128-bit word back into an instruction. It returns an
+// error for undefined opcodes so corrupted modules fail loudly at load
+// time rather than mis-executing.
+func Decode(w Word) (Inst, error) {
+	var i Inst
+	i.Op = Opcode(get(w.Lo, bOpcode, 12))
+	if !i.Op.Valid() {
+		return i, fmt.Errorf("sass: undefined opcode 0x%03x", uint16(i.Op))
+	}
+	i.Pred = Pred(get(w.Lo, bPred, 4))
+	i.PredNeg = get(w.Lo, bPredNeg, 1) == 1
+	i.Rd = Reg(get(w.Lo, bRd, 8))
+	i.Rs0 = Reg(get(w.Lo, bRs0, 8))
+	i.SrcMode = SrcMode(get(w.Lo, bSrcMode, 2))
+	i.Rs1 = Reg(get(w.Lo, bRs1, 8))
+	i.Rs2 = Reg(get(w.Lo, bRs2, 8))
+	i.Pd = Pred(get(w.Lo, bPd, 4))
+	i.SrcPred = Pred(get(w.Lo, bSrcPred, 4))
+	if i.Op.IsMemory() {
+		i.Width = widthFromCode(get(w.Lo, bWidth, 2))
+	}
+	i.Cmp = CmpOp(get(w.Lo, bCmp, 3))
+
+	imm := uint32(get(w.Hi, bImm, 32))
+	if i.SrcMode == SrcConst {
+		i.ConstBank = uint8(imm & 0xff)
+		i.ConstOfs = uint16(imm >> 8)
+	} else {
+		i.Imm = imm
+	}
+	i.Lut = uint8(get(w.Hi, bLut, 8))
+	i.Ctrl.Reuse = uint8(get(w.Hi, bReuse, 4))
+	i.Ctrl.WaitMask = uint8(get(w.Hi, bWait, 6))
+	if rb := get(w.Hi, bReadBar, 3); rb != 7 {
+		i.Ctrl.ReadBar = int8(rb)
+	} else {
+		i.Ctrl.ReadBar = NoBar
+	}
+	if wb := get(w.Hi, bWriteBar, 3); wb != 7 {
+		i.Ctrl.WriteBar = int8(wb)
+	} else {
+		i.Ctrl.WriteBar = NoBar
+	}
+	i.Ctrl.Yield = get(w.Hi, bYield, 1) == 1
+	i.Ctrl.Stall = uint8(get(w.Hi, bStall, 4))
+	i.ShRight = get(w.Hi, bShRight, 1) == 1
+	i.NegA = get(w.Hi, bNegA, 1) == 1
+	i.NegB = get(w.Hi, bNegB, 1) == 1
+	return i, nil
+}
+
+// EncodeAll encodes a program.
+func EncodeAll(prog []Inst) []Word {
+	out := make([]Word, len(prog))
+	for i, inst := range prog {
+		out[i] = inst.Encode()
+	}
+	return out
+}
+
+// DecodeAll decodes a program, failing on the first invalid word.
+func DecodeAll(words []Word) ([]Inst, error) {
+	out := make([]Inst, len(words))
+	for i, w := range words {
+		inst, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+		out[i] = inst
+	}
+	return out, nil
+}

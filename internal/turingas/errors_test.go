@@ -1,0 +1,122 @@
+package turingas
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOperandErrorsPerMnemonic drives the parser's error paths: every bad
+// line must fail with a line-numbered error, never assemble silently.
+func TestOperandErrorsPerMnemonic(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"ffma too few operands", "--:-:-:Y:1  FFMA R0, R1, R2;"},
+		{"ffma bad dest", "--:-:-:Y:1  FFMA P0, R1, R2, R3;"},
+		{"ffma bad reg number", "--:-:-:Y:1  FFMA R300, R1, R2, R3;"},
+		{"fadd missing operand", "--:-:-:Y:1  FADD R0, R1;"},
+		{"mov too many", "--:-:-:Y:1  MOV R0, R1, R2;"},
+		{"shf bad modifier", "--:-:-:Y:1  SHF.Q R0, R1, 0x2;"},
+		{"lop3 missing lut", "--:-:-:Y:1  LOP3 R0, R1, R2, R3;"},
+		{"isetp no comparison", "--:-:-:Y:1  ISETP P0, R1, R2;"},
+		{"isetp bad comparison", "--:-:-:Y:1  ISETP.ZZ P0, R1, R2;"},
+		{"isetp bad pred", "--:-:-:Y:1  ISETP.LT R0, R1, R2;"},
+		{"s2r unknown special", "--:-:-:Y:1  S2R R0, SR_BOGUS;"},
+		{"p2r bad mask", "--:-:-:Y:1  P2R R0, zz;"},
+		{"ldg missing brackets", "--:-:-:Y:1  LDG R0, R2;"},
+		{"ldg bad width", "--:-:-:Y:1  LDG.256 R0, [R2];"},
+		{"sts bad address", "--:-:-:Y:1  STS [Q2], R0;"},
+		{"bra extra operand", "--:-:-:Y:1  BRA here, there;"},
+		{"exit with operand", "--:-:-:Y:1  EXIT R0;"},
+		{"guard bad predicate", "--:-:-:Y:1  @P9 MOV R0, 0x1;"},
+		{"pred out of range", "--:-:-:Y:1  ISETP.LT P7, R1, R2;"},
+		{"sel missing pred", "--:-:-:Y:1  SEL R0, R1, R2;"},
+		{"bad const operand", "--:-:-:Y:1  MOV R0, c[0x0;"},
+		{"const offset out of range", "--:-:-:Y:1  MOV R0, c[0x0][0x10000];"},
+		{"imad unknown modifier", "--:-:-:Y:1  IMAD.LO R0, R1, R2, R3;"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(".kernel e\n" + tc.line + "\n.endkernel\n")
+			if err == nil {
+				t.Fatalf("%q assembled without error", tc.line)
+			}
+			if !strings.Contains(err.Error(), "line 2") {
+				t.Fatalf("error lacks line number: %v", err)
+			}
+		})
+	}
+}
+
+func TestDirectiveErrors(t *testing.T) {
+	cases := []string{
+		".kernel a\n.kernel b\n.endkernel\n.endkernel\n", // nested
+		".endkernel\n",                       // stray end
+		".kernel\n.endkernel\n",              // missing name
+		".kernel a\n.regs abc\n.endkernel\n", // bad number
+		".bogus 1\n.kernel a\n.endkernel\n",  // unknown directive
+		".alias onlyone\n.kernel a\n.endkernel\n",
+		".equ name\n.kernel a\n.endkernel\n",
+		"MOV R0, 0x1;\n",                      // instruction outside kernel
+		"label:\n.kernel a\n.endkernel\n",     // label outside kernel
+		".kernel a\ntop:\ntop:\n.endkernel\n", // duplicate label
+		"",                                    // empty: no kernels
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Fatalf("source %q assembled without error", src)
+		}
+	}
+}
+
+func TestAssembleKernelRejectsMultiple(t *testing.T) {
+	_, err := AssembleKernel(".kernel a\n--:-:-:Y:5 EXIT;\n.endkernel\n.kernel b\n--:-:-:Y:5 EXIT;\n.endkernel\n")
+	if err == nil {
+		t.Fatal("AssembleKernel must reject multi-kernel modules")
+	}
+}
+
+func TestNegativeImmediates(t *testing.T) {
+	k := mustKernel(t, `
+.kernel n
+--:-:-:Y:1  IADD3 R0, R1, -5, RZ;
+--:-:-:Y:1  MOV R2, -0x10;
+--:-:-:Y:5  EXIT;
+.endkernel
+`)
+	insts := decode(t, k)
+	if int32(insts[0].Imm) != -5 {
+		t.Fatalf("negative decimal = %d", int32(insts[0].Imm))
+	}
+	if int32(insts[1].Imm) != -16 {
+		t.Fatalf("negative hex = %d", int32(insts[1].Imm))
+	}
+}
+
+func TestEquUsableAsAddressOffset(t *testing.T) {
+	k := mustKernel(t, `
+.equ OFS, 0x80
+.kernel eq
+--:-:0:-:2  LDG R0, [R2+OFS];
+--:-:-:Y:5  EXIT;
+.endkernel
+`)
+	if decode(t, k)[0].Imm != 0x80 {
+		t.Fatal(".equ constant not applied in address offset")
+	}
+}
+
+func TestBareImmediateAddress(t *testing.T) {
+	k := mustKernel(t, `
+.kernel ba
+.smem 256
+--:-:0:-:2  LDS R0, [0x40];
+--:-:-:Y:5  EXIT;
+.endkernel
+`)
+	in := decode(t, k)[0]
+	if in.Rs0.String() != "RZ" || in.Imm != 0x40 {
+		t.Fatalf("bare-immediate address: %+v", in)
+	}
+}

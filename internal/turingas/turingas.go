@@ -1,0 +1,916 @@
+// Package turingas is this repository's re-implementation of the paper's
+// TuringAs: an assembler from SASS source text to loadable cubin modules
+// (Section 5.3). It supports the feature list the paper describes —
+// control-code prefixes on every instruction, register name mapping
+// (".alias"), named constants (".equ"), labels and branches, and multiple
+// kernels per file. The paper's "inline Python" code generation is
+// provided by the Go kernel generators in internal/kernels, which emit
+// source for this assembler.
+//
+// Source grammar (line oriented; '#' and '//' start comments):
+//
+//	.kernel ftf            begin a kernel
+//	.regs 253              per-thread register count (default: inferred)
+//	.smem 49152            static shared memory bytes
+//	.params 40             parameter-area bytes (constant bank 0, +0x160)
+//	.alias idx, R3         name a register (or predicate)
+//	.equ BK, 64            define a numeric constant
+//	loop:                  label
+//	--:-:1:-:2  @!P0 LDG.128 R4, [R8+0x10];
+//	01:-:-:Y:4  FFMA R1, R65, R80.reuse, R1;
+//	.endkernel
+//
+// The control prefix is wait:read:write:yield:stall — a two-digit hex
+// barrier wait mask (or --), the read- and write-barrier indices (or -),
+// Y/- for the yield flag, and the decimal stall count.
+package turingas
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/cubin"
+	"repro/internal/sass"
+)
+
+// Assemble parses and encodes a full module.
+func Assemble(src string) (*cubin.Module, error) {
+	a := &asm{
+		aliases: map[string]string{},
+		consts:  map[string]int64{},
+	}
+	mod := &cubin.Module{}
+	lines := strings.Split(src, "\n")
+	for num, raw := range lines {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if err := a.line(mod, line); err != nil {
+			return nil, fmt.Errorf("line %d: %w (%q)", num+1, err, strings.TrimSpace(raw))
+		}
+	}
+	if a.cur != nil {
+		return nil, fmt.Errorf("kernel %q missing .endkernel", a.cur.name)
+	}
+	if len(mod.Kernels) == 0 {
+		return nil, fmt.Errorf("turingas: no kernels in source")
+	}
+	return mod, nil
+}
+
+// AssembleKernel assembles a module expected to hold exactly one kernel.
+func AssembleKernel(src string) (*cubin.Kernel, error) {
+	mod, err := Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(mod.Kernels) != 1 {
+		return nil, fmt.Errorf("turingas: expected 1 kernel, found %d", len(mod.Kernels))
+	}
+	return &mod.Kernels[0], nil
+}
+
+// Disassemble renders a kernel back to source that re-assembles to the
+// same encoding: control prefixes are emitted on every line and branch
+// targets become synthetic labels.
+func Disassemble(k *cubin.Kernel) (string, error) {
+	insts, err := k.Decode()
+	if err != nil {
+		return "", err
+	}
+	// First pass: collect branch targets.
+	labels := map[int]string{}
+	for pc, in := range insts {
+		if in.Op == sass.OpBRA {
+			target := pc + 1 + int(int32(in.Imm))
+			if target < 0 || target > len(insts) {
+				return "", fmt.Errorf("turingas: branch at %d targets %d, outside the kernel", pc, target)
+			}
+			if _, ok := labels[target]; !ok {
+				labels[target] = fmt.Sprintf("L%d", target)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, ".kernel %s\n.regs %d\n.smem %d\n.params %d\n", k.Name, k.NumRegs, k.SmemBytes, k.ParamBytes)
+	for pc, in := range insts {
+		if l, ok := labels[pc]; ok {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		text := in.String()
+		if in.Op == sass.OpBRA {
+			target := pc + 1 + int(int32(in.Imm))
+			guard := ""
+			if in.Pred != sass.PT || in.PredNeg {
+				n := ""
+				if in.PredNeg {
+					n = "!"
+				}
+				guard = fmt.Sprintf("@%s%s ", n, in.Pred)
+			}
+			text = fmt.Sprintf("%sBRA %s;", guard, labels[target])
+		}
+		fmt.Fprintf(&b, "%-14s %s\n", in.Ctrl.String(), text)
+	}
+	if l, ok := labels[len(insts)]; ok {
+		fmt.Fprintf(&b, "%s:\n", l)
+	}
+	b.WriteString(".endkernel\n")
+	return b.String(), nil
+}
+
+// pending is an instruction awaiting label resolution.
+type pending struct {
+	inst  sass.Inst
+	label string // branch target, empty if none
+}
+
+type kernelState struct {
+	name   string
+	regs   int
+	smem   int
+	params int
+	hasBar bool
+	maxReg int
+	insts  []pending
+	labels map[string]int
+}
+
+type asm struct {
+	cur     *kernelState
+	aliases map[string]string
+	consts  map[string]int64
+}
+
+func stripComment(s string) string {
+	if i := strings.Index(s, "#"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+func (a *asm) line(mod *cubin.Module, line string) error {
+	switch {
+	case strings.HasPrefix(line, "."):
+		return a.directive(mod, line)
+	case strings.HasSuffix(line, ":") && !strings.ContainsAny(strings.TrimSuffix(line, ":"), " \t"):
+		if a.cur == nil {
+			return fmt.Errorf("label outside .kernel")
+		}
+		name := strings.TrimSuffix(line, ":")
+		if _, dup := a.cur.labels[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		a.cur.labels[name] = len(a.cur.insts)
+		return nil
+	default:
+		if a.cur == nil {
+			return fmt.Errorf("instruction outside .kernel")
+		}
+		return a.instruction(line)
+	}
+}
+
+func (a *asm) directive(mod *cubin.Module, line string) error {
+	fields := strings.Fields(line)
+	dir := fields[0]
+	rest := strings.TrimSpace(strings.TrimPrefix(line, dir))
+	switch dir {
+	case ".kernel":
+		if a.cur != nil {
+			return fmt.Errorf("nested .kernel")
+		}
+		if rest == "" {
+			return fmt.Errorf(".kernel needs a name")
+		}
+		a.cur = &kernelState{name: rest, labels: map[string]int{}, maxReg: -1}
+		return nil
+	case ".endkernel":
+		if a.cur == nil {
+			return fmt.Errorf(".endkernel without .kernel")
+		}
+		k, err := a.finish()
+		if err != nil {
+			return err
+		}
+		mod.Kernels = append(mod.Kernels, *k)
+		a.cur = nil
+		return nil
+	case ".regs", ".smem", ".params":
+		if a.cur == nil {
+			return fmt.Errorf("%s outside .kernel", dir)
+		}
+		v, err := parseInt(rest)
+		if err != nil {
+			return fmt.Errorf("%s: %w", dir, err)
+		}
+		switch dir {
+		case ".regs":
+			a.cur.regs = int(v)
+		case ".smem":
+			a.cur.smem = int(v)
+		case ".params":
+			a.cur.params = int(v)
+		}
+		return nil
+	case ".alias":
+		parts := splitOperands(rest)
+		if len(parts) != 2 {
+			return fmt.Errorf(".alias wants `name, Rn`")
+		}
+		a.aliases[parts[0]] = parts[1]
+		return nil
+	case ".equ":
+		parts := splitOperands(rest)
+		if len(parts) != 2 {
+			return fmt.Errorf(".equ wants `name, value`")
+		}
+		v, err := parseInt(parts[1])
+		if err != nil {
+			return fmt.Errorf(".equ %s: %w", parts[0], err)
+		}
+		a.consts[parts[0]] = v
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %s", dir)
+	}
+}
+
+// finish resolves labels and packages the kernel.
+func (a *asm) finish() (*cubin.Kernel, error) {
+	ks := a.cur
+	code := make([]sass.Word, len(ks.insts))
+	for pc, p := range ks.insts {
+		inst := p.inst
+		if p.label != "" {
+			target, ok := ks.labels[p.label]
+			if !ok {
+				return nil, fmt.Errorf("undefined label %q", p.label)
+			}
+			inst.Imm = uint32(int32(target - (pc + 1)))
+		}
+		code[pc] = inst.Encode()
+	}
+	regs := ks.regs
+	if regs == 0 {
+		regs = ks.maxReg + 1
+	}
+	bars := 0
+	if ks.hasBar {
+		bars = 1
+	}
+	return &cubin.Kernel{
+		Name:       ks.name,
+		NumRegs:    regs,
+		SmemBytes:  ks.smem,
+		ParamBytes: ks.params,
+		BarCount:   bars,
+		Code:       code,
+	}, nil
+}
+
+// instruction parses one instruction line: [ctrl] [@[!]P] MNEMONIC[.F]* operands... ;
+func (a *asm) instruction(line string) error {
+	if !strings.HasSuffix(line, ";") {
+		return fmt.Errorf("missing trailing ';'")
+	}
+	line = strings.TrimSpace(strings.TrimSuffix(line, ";"))
+
+	inst := sass.Inst{Pred: sass.PT, Ctrl: sass.DefaultCtrl()}
+	// Control prefix?
+	if tok, rest, found := strings.Cut(line, " "); found && strings.Count(tok, ":") == 4 {
+		c, err := parseCtrl(tok)
+		if err != nil {
+			return err
+		}
+		inst.Ctrl = c
+		line = strings.TrimSpace(rest)
+	}
+	// Guard predicate?
+	if strings.HasPrefix(line, "@") {
+		tok, rest, _ := strings.Cut(line[1:], " ")
+		neg := strings.HasPrefix(tok, "!")
+		tok = strings.TrimPrefix(tok, "!")
+		p, err := a.parsePred(tok)
+		if err != nil {
+			return fmt.Errorf("guard: %w", err)
+		}
+		inst.Pred, inst.PredNeg = p, neg
+		line = strings.TrimSpace(rest)
+	}
+	mnTok, rest, _ := strings.Cut(line, " ")
+	mods := strings.Split(mnTok, ".")
+	mn := mods[0]
+	mods = mods[1:]
+	ops := splitOperands(strings.TrimSpace(rest))
+
+	label, err := a.encodeOp(&inst, mn, mods, ops)
+	if err != nil {
+		return err
+	}
+	a.track(&inst)
+	a.cur.insts = append(a.cur.insts, pending{inst: inst, label: label})
+	return nil
+}
+
+// track records register high-water mark and barrier usage.
+func (a *asm) track(inst *sass.Inst) {
+	upd := func(r sass.Reg, width int) {
+		if r == sass.RZ {
+			return
+		}
+		hi := int(r) + width - 1
+		if hi > a.cur.maxReg {
+			a.cur.maxReg = hi
+		}
+	}
+	w := 1
+	if inst.Op.IsMemory() {
+		w = inst.Width.Regs()
+	}
+	switch inst.Op {
+	case sass.OpLDG, sass.OpLDS:
+		upd(inst.Rd, w)
+		upd(inst.Rs0, 1)
+	case sass.OpSTG, sass.OpSTS:
+		upd(inst.Rs0, 1)
+		upd(inst.Rs2, w)
+	case sass.OpBAR:
+		a.cur.hasBar = true
+	default:
+		upd(inst.Rd, 1)
+		upd(inst.Rs0, 1)
+		if inst.SrcMode == sass.SrcReg {
+			upd(inst.Rs1, 1)
+		}
+		upd(inst.Rs2, 1)
+	}
+}
+
+// encodeOp fills in opcode-specific fields; returns a branch label when
+// the instruction references one.
+func (a *asm) encodeOp(inst *sass.Inst, mn string, mods, ops []string) (string, error) {
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mn, n, len(ops))
+		}
+		return nil
+	}
+	switch mn {
+	case "NOP":
+		inst.Op = sass.OpNOP
+		return "", need(0)
+	case "EXIT":
+		inst.Op = sass.OpEXIT
+		return "", need(0)
+	case "BAR":
+		inst.Op = sass.OpBAR
+		if len(ops) > 1 {
+			return "", fmt.Errorf("BAR.SYNC takes at most one operand")
+		}
+		return "", nil
+	case "BRA":
+		inst.Op = sass.OpBRA
+		inst.SrcMode = sass.SrcImm
+		if err := need(1); err != nil {
+			return "", err
+		}
+		return ops[0], nil
+	case "FFMA", "IMAD", "IADD3", "SEL":
+		switch mn {
+		case "FFMA":
+			inst.Op = sass.OpFFMA
+		case "IMAD":
+			inst.Op = sass.OpIMAD
+			for _, m := range mods {
+				if m != "HI" {
+					return "", fmt.Errorf("IMAD: unknown modifier .%s", m)
+				}
+				inst.ShRight = true // .HI: high 32 bits of the product
+			}
+		case "IADD3":
+			inst.Op = sass.OpIADD3
+		case "SEL":
+			inst.Op = sass.OpSEL
+		}
+		if err := need(4); err != nil {
+			return "", err
+		}
+		var err error
+		if inst.Rd, err = a.parseReg(ops[0], inst, -1); err != nil {
+			return "", err
+		}
+		aOp := ops[1]
+		if mn == "FFMA" && strings.HasPrefix(aOp, "-") {
+			inst.NegA = true
+			aOp = aOp[1:]
+		}
+		if inst.Rs0, err = a.parseReg(aOp, inst, 0); err != nil {
+			return "", err
+		}
+		if err = a.parseB(ops[2], inst, mn == "FFMA"); err != nil {
+			return "", err
+		}
+		if mn == "SEL" {
+			p, err := a.parsePred(ops[3])
+			if err != nil {
+				return "", err
+			}
+			inst.SrcPred = p
+			return "", nil
+		}
+		if inst.Rs2, err = a.parseReg(ops[3], inst, 2); err != nil {
+			return "", err
+		}
+		return "", nil
+	case "FADD", "FMUL":
+		if mn == "FADD" {
+			inst.Op = sass.OpFADD
+		} else {
+			inst.Op = sass.OpFMUL
+		}
+		if err := need(3); err != nil {
+			return "", err
+		}
+		var err error
+		if inst.Rd, err = a.parseReg(ops[0], inst, -1); err != nil {
+			return "", err
+		}
+		aOp := ops[1]
+		if strings.HasPrefix(aOp, "-") {
+			inst.NegA = true
+			aOp = aOp[1:]
+		}
+		if inst.Rs0, err = a.parseReg(aOp, inst, 0); err != nil {
+			return "", err
+		}
+		return "", a.parseB(ops[2], inst, true)
+	case "MOV":
+		inst.Op = sass.OpMOV
+		if err := need(2); err != nil {
+			return "", err
+		}
+		var err error
+		if inst.Rd, err = a.parseReg(ops[0], inst, -1); err != nil {
+			return "", err
+		}
+		return "", a.parseB(ops[1], inst, false)
+	case "SHF":
+		inst.Op = sass.OpSHF
+		for _, m := range mods {
+			switch m {
+			case "L":
+				inst.ShRight = false
+			case "R":
+				inst.ShRight = true
+			default:
+				return "", fmt.Errorf("SHF: unknown modifier .%s", m)
+			}
+		}
+		if err := need(3); err != nil {
+			return "", err
+		}
+		var err error
+		if inst.Rd, err = a.parseReg(ops[0], inst, -1); err != nil {
+			return "", err
+		}
+		if inst.Rs0, err = a.parseReg(ops[1], inst, 0); err != nil {
+			return "", err
+		}
+		return "", a.parseB(ops[2], inst, false)
+	case "LOP3":
+		inst.Op = sass.OpLOP3
+		if err := need(5); err != nil {
+			return "", err
+		}
+		var err error
+		if inst.Rd, err = a.parseReg(ops[0], inst, -1); err != nil {
+			return "", err
+		}
+		if inst.Rs0, err = a.parseReg(ops[1], inst, 0); err != nil {
+			return "", err
+		}
+		if err = a.parseB(ops[2], inst, false); err != nil {
+			return "", err
+		}
+		if inst.Rs2, err = a.parseReg(ops[3], inst, 2); err != nil {
+			return "", err
+		}
+		lut, err := a.parseImm(ops[4])
+		if err != nil {
+			return "", err
+		}
+		inst.Lut = uint8(lut)
+		return "", nil
+	case "ISETP":
+		inst.Op = sass.OpISETP
+		if len(mods) < 1 {
+			return "", fmt.Errorf("ISETP needs a comparison modifier")
+		}
+		switch mods[0] {
+		case "LT":
+			inst.Cmp = sass.CmpLT
+		case "EQ":
+			inst.Cmp = sass.CmpEQ
+		case "LE":
+			inst.Cmp = sass.CmpLE
+		case "GT":
+			inst.Cmp = sass.CmpGT
+		case "NE":
+			inst.Cmp = sass.CmpNE
+		case "GE":
+			inst.Cmp = sass.CmpGE
+		default:
+			return "", fmt.Errorf("ISETP: unknown comparison .%s", mods[0])
+		}
+		if len(ops) != 3 && len(ops) != 4 {
+			return "", fmt.Errorf("ISETP wants 3 or 4 operands")
+		}
+		pd, err := a.parsePred(ops[0])
+		if err != nil {
+			return "", err
+		}
+		inst.Pd = pd
+		if inst.Rs0, err = a.parseReg(ops[1], inst, 0); err != nil {
+			return "", err
+		}
+		if err = a.parseB(ops[2], inst, false); err != nil {
+			return "", err
+		}
+		inst.SrcPred = sass.PT
+		if len(ops) == 4 {
+			if inst.SrcPred, err = a.parsePred(ops[3]); err != nil {
+				return "", err
+			}
+		}
+		return "", nil
+	case "S2R":
+		inst.Op = sass.OpS2R
+		if err := need(2); err != nil {
+			return "", err
+		}
+		var err error
+		if inst.Rd, err = a.parseReg(ops[0], inst, -1); err != nil {
+			return "", err
+		}
+		sr, err := parseSpecialReg(ops[1])
+		if err != nil {
+			return "", err
+		}
+		inst.Imm = uint32(sr)
+		return "", nil
+	case "P2R", "R2P":
+		if mn == "P2R" {
+			inst.Op = sass.OpP2R
+		} else {
+			inst.Op = sass.OpR2P
+		}
+		if err := need(2); err != nil {
+			return "", err
+		}
+		r, err := a.parseReg(ops[0], inst, -1)
+		if err != nil {
+			return "", err
+		}
+		if mn == "P2R" {
+			inst.Rd = r
+		} else {
+			inst.Rs0 = r
+		}
+		mask, err := a.parseImm(ops[1])
+		if err != nil {
+			return "", err
+		}
+		inst.Imm = uint32(mask)
+		return "", nil
+	case "LDG", "LDS", "STG", "STS":
+		switch mn {
+		case "LDG":
+			inst.Op = sass.OpLDG
+		case "LDS":
+			inst.Op = sass.OpLDS
+		case "STG":
+			inst.Op = sass.OpSTG
+		case "STS":
+			inst.Op = sass.OpSTS
+		}
+		inst.Width = sass.W32
+		for _, m := range mods {
+			switch m {
+			case "32", "E":
+				inst.Width = sass.W32
+			case "64":
+				inst.Width = sass.W64
+			case "128":
+				inst.Width = sass.W128
+			default:
+				return "", fmt.Errorf("%s: unknown modifier .%s", mn, m)
+			}
+		}
+		if err := need(2); err != nil {
+			return "", err
+		}
+		load := mn == "LDG" || mn == "LDS"
+		addrOp, dataOp := ops[1], ops[0]
+		if !load {
+			addrOp, dataOp = ops[0], ops[1]
+		}
+		base, off, err := a.parseAddr(addrOp)
+		if err != nil {
+			return "", err
+		}
+		inst.Rs0, inst.Imm = base, off
+		r, err := a.parseReg(dataOp, inst, -1)
+		if err != nil {
+			return "", err
+		}
+		if load {
+			inst.Rd = r
+		} else {
+			inst.Rs2 = r
+		}
+		return "", nil
+	default:
+		return "", fmt.Errorf("unknown mnemonic %q", mn)
+	}
+}
+
+// parseCtrl parses the wait:read:write:yield:stall control prefix.
+func parseCtrl(tok string) (sass.Ctrl, error) {
+	parts := strings.Split(tok, ":")
+	if len(parts) != 5 {
+		return sass.Ctrl{}, fmt.Errorf("control prefix wants 5 fields, got %q", tok)
+	}
+	c := sass.Ctrl{WriteBar: sass.NoBar, ReadBar: sass.NoBar}
+	if parts[0] != "--" {
+		v, err := strconv.ParseUint(parts[0], 16, 8)
+		if err != nil || v > 0x3f {
+			return c, fmt.Errorf("bad wait mask %q", parts[0])
+		}
+		c.WaitMask = uint8(v)
+	}
+	barField := func(s, name string) (int8, error) {
+		if s == "-" {
+			return sass.NoBar, nil
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 || v > 5 {
+			return 0, fmt.Errorf("bad %s barrier %q", name, s)
+		}
+		return int8(v), nil
+	}
+	var err error
+	if c.ReadBar, err = barField(parts[1], "read"); err != nil {
+		return c, err
+	}
+	if c.WriteBar, err = barField(parts[2], "write"); err != nil {
+		return c, err
+	}
+	switch parts[3] {
+	case "Y":
+		c.Yield = true
+	case "-":
+	default:
+		return c, fmt.Errorf("bad yield flag %q", parts[3])
+	}
+	stall, err := strconv.Atoi(parts[4])
+	if err != nil || stall < 0 || stall > 15 {
+		return c, fmt.Errorf("bad stall count %q", parts[4])
+	}
+	c.Stall = uint8(stall)
+	return c, nil
+}
+
+// parseReg parses a register operand; slot >= 0 records .reuse flags for
+// that source slot.
+func (a *asm) parseReg(tok string, inst *sass.Inst, slot int) (sass.Reg, error) {
+	if strings.HasSuffix(tok, ".reuse") {
+		tok = strings.TrimSuffix(tok, ".reuse")
+		if slot >= 0 {
+			inst.Ctrl.Reuse |= 1 << uint(slot)
+		}
+	}
+	if alias, ok := a.aliases[tok]; ok {
+		tok = alias
+	}
+	if tok == "RZ" {
+		return sass.RZ, nil
+	}
+	if !strings.HasPrefix(tok, "R") {
+		return 0, fmt.Errorf("expected register, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 || n > int(sass.MaxReg) {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	return sass.Reg(n), nil
+}
+
+func (a *asm) parsePred(tok string) (sass.Pred, error) {
+	if alias, ok := a.aliases[tok]; ok {
+		tok = alias
+	}
+	if tok == "PT" {
+		return sass.PT, nil
+	}
+	if !strings.HasPrefix(tok, "P") {
+		return 0, fmt.Errorf("expected predicate, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 || n >= sass.NumPred {
+		return 0, fmt.Errorf("bad predicate %q", tok)
+	}
+	return sass.Pred(n), nil
+}
+
+// parseB parses the flexible second-source operand: register, immediate,
+// or constant memory. allowFloat enables float literals (and register
+// negation, '-Rn') for FP ops.
+func (a *asm) parseB(tok string, inst *sass.Inst, allowFloat bool) error {
+	if allowFloat && strings.HasPrefix(tok, "-") {
+		rest := tok[1:]
+		if alias, ok := a.aliases[strings.TrimSuffix(rest, ".reuse")]; ok {
+			rest = alias
+		}
+		if strings.HasPrefix(rest, "R") || strings.HasPrefix(rest, "c[") {
+			inst.NegB = true
+			tok = tok[1:]
+		}
+	}
+	if strings.HasPrefix(tok, "c[") {
+		bank, ofs, err := parseConst(tok)
+		if err != nil {
+			return err
+		}
+		inst.SrcMode = sass.SrcConst
+		inst.ConstBank, inst.ConstOfs = bank, ofs
+		return nil
+	}
+	if v, ok := a.consts[strings.TrimSuffix(tok, ".reuse")]; ok {
+		inst.SrcMode = sass.SrcImm
+		inst.Imm = uint32(v)
+		return nil
+	}
+	if r, err := a.parseReg(tok, inst, 1); err == nil {
+		inst.SrcMode = sass.SrcReg
+		inst.Rs1 = r
+		return nil
+	}
+	if allowFloat && (strings.Contains(tok, ".") || strings.Contains(tok, "e")) {
+		f, err := strconv.ParseFloat(tok, 32)
+		if err != nil {
+			return fmt.Errorf("bad float immediate %q", tok)
+		}
+		inst.SrcMode = sass.SrcImm
+		inst.Imm = f32bits(float32(f))
+		return nil
+	}
+	v, err := a.parseImm(tok)
+	if err != nil {
+		return fmt.Errorf("bad operand %q", tok)
+	}
+	inst.SrcMode = sass.SrcImm
+	inst.Imm = uint32(v)
+	return nil
+}
+
+// parseAddr parses [Rn], [Rn+imm], [Rn+NAME] or [imm].
+func (a *asm) parseAddr(tok string) (sass.Reg, uint32, error) {
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return 0, 0, fmt.Errorf("expected [addr], got %q", tok)
+	}
+	inner := tok[1 : len(tok)-1]
+	base, offStr, hasOff := strings.Cut(inner, "+")
+	if !hasOff {
+		// Either a bare register or a bare immediate.
+		if v, err := a.parseImm(base); err == nil && !strings.HasPrefix(base, "R") {
+			if _, isAlias := a.aliases[base]; !isAlias {
+				return sass.RZ, uint32(v), nil
+			}
+		}
+		var dummy sass.Inst
+		r, err := a.parseReg(base, &dummy, -1)
+		if err != nil {
+			return 0, 0, err
+		}
+		return r, 0, nil
+	}
+	var dummy sass.Inst
+	r, err := a.parseReg(strings.TrimSpace(base), &dummy, -1)
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := a.parseImm(strings.TrimSpace(offStr))
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, uint32(off), nil
+}
+
+func (a *asm) parseImm(tok string) (int64, error) {
+	if v, ok := a.consts[tok]; ok {
+		return v, nil
+	}
+	return parseInt(tok)
+}
+
+func parseInt(tok string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(tok, "-") {
+		neg = true
+		tok = tok[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(tok, "0x") || strings.HasPrefix(tok, "0X") {
+		v, err = strconv.ParseUint(tok[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(tok, 10, 64)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", tok)
+	}
+	out := int64(v)
+	if neg {
+		out = -out
+	}
+	return out, nil
+}
+
+func parseConst(tok string) (uint8, uint16, error) {
+	// c[0x0][0x160]
+	rest := strings.TrimPrefix(tok, "c[")
+	bankStr, rest, ok := strings.Cut(rest, "]")
+	if !ok || !strings.HasPrefix(rest, "[") || !strings.HasSuffix(rest, "]") {
+		return 0, 0, fmt.Errorf("bad constant operand %q", tok)
+	}
+	ofsStr := strings.TrimSuffix(strings.TrimPrefix(rest, "["), "]")
+	bank, err := parseInt(bankStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	ofs, err := parseInt(ofsStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	if bank < 0 || bank > 255 || ofs < 0 || ofs > 0xffff {
+		return 0, 0, fmt.Errorf("constant operand out of range %q", tok)
+	}
+	return uint8(bank), uint16(ofs), nil
+}
+
+func parseSpecialReg(tok string) (int, error) {
+	switch tok {
+	case "SR_TID.X":
+		return sass.SRTidX, nil
+	case "SR_TID.Y":
+		return sass.SRTidY, nil
+	case "SR_TID.Z":
+		return sass.SRTidZ, nil
+	case "SR_CTAID.X":
+		return sass.SRCtaidX, nil
+	case "SR_CTAID.Y":
+		return sass.SRCtaidY, nil
+	case "SR_CTAID.Z":
+		return sass.SRCtaidZ, nil
+	case "SR_LANEID":
+		return sass.SRLaneID, nil
+	default:
+		return 0, fmt.Errorf("unknown special register %q", tok)
+	}
+}
+
+// splitOperands splits on commas outside brackets.
+func splitOperands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func f32bits(f float32) uint32 {
+	return math.Float32bits(f)
+}

@@ -1,0 +1,306 @@
+package winograd
+
+import (
+	"fmt"
+
+	"repro/internal/gemm"
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+// Options configures a Winograd convolution.
+type Options struct {
+	// Variant selects F(2x2,3x3) (default) or F(4x4,3x3).
+	Variant Variant
+	// Fused selects the fused implementation (transformed data stays in
+	// block-local buffers, the analogue of shared memory) versus the
+	// non-fused one (transformed data round-trips through a global
+	// workspace and batched GEMM). Default is fused.
+	NonFused bool
+	// BlockK, BlockN, BlockC are the fused cache-block sizes; defaults
+	// are the paper's bk=64, bn=32, bc=8.
+	BlockK, BlockN, BlockC int
+	// Workers bounds CPU parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) blocks() (bk, bn, bc int) {
+	bk, bn, bc = o.BlockK, o.BlockN, o.BlockC
+	if bk <= 0 {
+		bk = 64
+	}
+	if bn <= 0 {
+		bn = 32
+	}
+	if bc <= 0 {
+		bc = 8
+	}
+	return
+}
+
+// Conv2D computes a batched stride-1 3x3 convolution with the Winograd
+// algorithm. The input may be in NCHW or CHWN layout; the filter in KCRS
+// or CRSK. The output is produced in the paper's KHWN layout. pad is the
+// symmetric zero padding (ResNet 3x3 layers use pad=1).
+func Conv2D(in, flt *tensor.Tensor, pad int, opt Options) (*tensor.Tensor, error) {
+	is := in.ImageShape()
+	fs := flt.FilterShapeOf()
+	if fs.R != 3 || fs.S != 3 {
+		return nil, fmt.Errorf("winograd: needs a 3x3 filter, got %dx%d", fs.R, fs.S)
+	}
+	if is.C != fs.C {
+		return nil, fmt.Errorf("winograd: channel mismatch: input C=%d filter C=%d", is.C, fs.C)
+	}
+	oh := is.H + 2*pad - 2
+	ow := is.W + 2*pad - 2
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("winograd: empty output for input %dx%d pad %d", is.H, is.W, pad)
+	}
+	fltHat := FilterTransformAll(flt, opt.Variant)
+	if opt.NonFused {
+		return convNonFused(in, fltHat, fs.K, pad, oh, ow, opt), nil
+	}
+	return convFused(in, fltHat, fs.K, pad, oh, ow, opt), nil
+}
+
+// FilterTransformAll applies the filter transform to every (c, k) 3x3
+// filter tile. The result is stored element-major: index
+// e*(C*K) + c*K + k, matching the per-element (C x K) matrices the EWMM
+// step consumes; along k the data is contiguous, the property the paper's
+// CR'S'K layout provides for coalescing.
+func FilterTransformAll(flt *tensor.Tensor, v Variant) []float32 {
+	fs := flt.FilterShapeOf()
+	area := v.TileArea()
+	out := make([]float32, area*fs.C*fs.K)
+	par.For(fs.C*fs.K, 0, func(j int) {
+		c, k := j/fs.K, j%fs.K
+		var f FilterTile3
+		for r := 0; r < 3; r++ {
+			for s := 0; s < 3; s++ {
+				f[r*3+s] = flt.FilterAt(k, c, r, s)
+			}
+		}
+		hat := make([]float32, area)
+		TransformFilterTile(v, &f, hat)
+		for e := 0; e < area; e++ {
+			out[e*fs.C*fs.K+c*fs.K+k] = hat[e]
+		}
+	})
+	return out
+}
+
+// tileGrid describes the decomposition of the output plane into m x m tiles.
+type tileGrid struct {
+	m, t           int // output tile size, input tile size
+	tilesH, tilesW int
+	oh, ow         int
+	pad            int
+}
+
+func newTileGrid(v Variant, oh, ow, pad int) tileGrid {
+	m := v.M()
+	return tileGrid{
+		m: m, t: v.T(),
+		tilesH: (oh + m - 1) / m,
+		tilesW: (ow + m - 1) / m,
+		oh:     oh, ow: ow,
+		pad: pad,
+	}
+}
+
+// tiles returns the total tile count for batch size n.
+func (g tileGrid) tiles(n int) int { return n * g.tilesH * g.tilesW }
+
+// split maps a global tile index to (n, th, tw); n varies fastest, which is
+// what makes warp-wide loads of consecutive tiles coalesced in CHWN.
+func (g tileGrid) split(j, n int) (batch, th, tw int) {
+	batch = j % n
+	rest := j / n
+	tw = rest % g.tilesW
+	th = rest / g.tilesW
+	return
+}
+
+// gatherInputTile copies the t x t input patch for tile (batch, th, tw)
+// into dst, applying implicit zero padding — the CPU analogue of the
+// kernel's predicated LDGs.
+func gatherInputTile(in *tensor.Tensor, is tensor.Shape4, g tileGrid, batch, c, th, tw int, dst []float32) {
+	y0 := th*g.m - g.pad
+	x0 := tw*g.m - g.pad
+	for r := 0; r < g.t; r++ {
+		iy := y0 + r
+		for s := 0; s < g.t; s++ {
+			ix := x0 + s
+			var v float32
+			if iy >= 0 && iy < is.H && ix >= 0 && ix < is.W {
+				v = in.ImageAt(batch, c, iy, ix)
+			}
+			dst[r*g.t+s] = v
+		}
+	}
+}
+
+// scatterOutputTile writes an m x m output tile to KHWN output with bounds
+// checks for the partial tiles at the right/bottom edges.
+func scatterOutputTile(out *tensor.Tensor, g tileGrid, k, batch, th, tw int, tile []float32) {
+	y0 := th * g.m
+	x0 := tw * g.m
+	for r := 0; r < g.m; r++ {
+		oy := y0 + r
+		if oy >= g.oh {
+			break
+		}
+		for s := 0; s < g.m; s++ {
+			ox := x0 + s
+			if ox >= g.ow {
+				break
+			}
+			out.ImageSet(batch, k, oy, ox, tile[r*g.m+s])
+		}
+	}
+}
+
+// convFused is the CPU mirror of the paper's Algorithm 1: a grid of
+// "thread blocks", each owning bk filters x bn input tiles, looping over
+// channels in steps of bc with block-local transformed-tile buffers.
+func convFused(in *tensor.Tensor, fltHat []float32, filters, pad, oh, ow int, opt Options) *tensor.Tensor {
+	is := in.ImageShape()
+	g := newTileGrid(opt.Variant, oh, ow, pad)
+	area := opt.Variant.TileArea()
+	bk, bn, bc := opt.blocks()
+	totalTiles := g.tiles(is.N)
+	blocksN := (totalTiles + bn - 1) / bn
+	blocksK := (filters + bk - 1) / bk
+	out := tensor.New(tensor.KHWN, filters, oh, ow, is.N)
+
+	par.For(blocksN*blocksK, opt.Workers, func(blk int) {
+		bkIdx, bnIdx := blk/blocksN, blk%blocksN
+		k0 := bkIdx * bk
+		k1 := min(k0+bk, filters)
+		j0 := bnIdx * bn
+		j1 := min(j0+bn, totalTiles)
+		nk, nn := k1-k0, j1-j0
+
+		// Block-local buffers: the analogue of the kernel's shared
+		// memory (input_smem/filter_smem) and register accumulators.
+		acc := make([]float32, area*nk*nn)
+		inHat := make([]float32, area*bc*nn)
+		raw := make([]float32, area)
+		hat := make([]float32, area)
+
+		for c0 := 0; c0 < is.C; c0 += bc {
+			c1 := min(c0+bc, is.C)
+			nc := c1 - c0
+			// Load + transform bn input tiles for bc channels
+			// (Algorithm 1 line 8).
+			for ci := 0; ci < nc; ci++ {
+				for ni := 0; ni < nn; ni++ {
+					batch, th, tw := g.split(j0+ni, is.N)
+					gatherInputTile(in, is, g, batch, c0+ci, th, tw, raw)
+					TransformInputTile(opt.Variant, raw, hat)
+					for e := 0; e < area; e++ {
+						inHat[(e*bc+ci)*nn+ni] = hat[e]
+					}
+				}
+			}
+			// EWMM as batched matrix multiply (Algorithm 1 lines 9-15):
+			// per tile element e, acc[e] += F_hat[e][c0:c1][k0:k1]^T x inHat[e].
+			for e := 0; e < area; e++ {
+				fBase := e * is.C * filters
+				for ci := 0; ci < nc; ci++ {
+					fRow := fltHat[fBase+(c0+ci)*filters+k0 : fBase+(c0+ci)*filters+k1]
+					iRow := inHat[(e*bc+ci)*nn : (e*bc+ci)*nn+nn]
+					aBase := e * nk * nn
+					for ki := 0; ki < nk; ki++ {
+						fv := fRow[ki]
+						if fv == 0 {
+							continue
+						}
+						aRow := acc[aBase+ki*nn : aBase+ki*nn+nn]
+						for ni := 0; ni < nn; ni++ {
+							aRow[ni] += fv * iRow[ni]
+						}
+					}
+				}
+			}
+		}
+		// Output transform (Algorithm 1 lines 17-18).
+		m := g.m
+		pre := make([]float32, area)
+		post := make([]float32, m*m)
+		for ki := 0; ki < nk; ki++ {
+			for ni := 0; ni < nn; ni++ {
+				for e := 0; e < area; e++ {
+					pre[e] = acc[(e*nk+ki)*nn+ni]
+				}
+				TransformOutputTile(opt.Variant, pre, post)
+				batch, th, tw := g.split(j0+ni, is.N)
+				scatterOutputTile(out, g, k0+ki, batch, th, tw, post)
+			}
+		}
+	})
+	return out
+}
+
+// convNonFused implements the non-fused strategy: transformed input and
+// output round-trip through global workspaces, with the EWMM step done as
+// `area` batched GEMMs — the structure of cuDNN's WINOGRAD_NONFUSED.
+func convNonFused(in *tensor.Tensor, fltHat []float32, filters, pad, oh, ow int, opt Options) *tensor.Tensor {
+	is := in.ImageShape()
+	g := newTileGrid(opt.Variant, oh, ow, pad)
+	area := opt.Variant.TileArea()
+	totalTiles := g.tiles(is.N)
+
+	// Scatter: transformed input workspace, element-major (e, c, tile).
+	inHat := make([]float32, area*is.C*totalTiles)
+	par.For(is.C, opt.Workers, func(c int) {
+		raw := make([]float32, area)
+		hat := make([]float32, area)
+		for j := 0; j < totalTiles; j++ {
+			batch, th, tw := g.split(j, is.N)
+			gatherInputTile(in, is, g, batch, c, th, tw, raw)
+			TransformInputTile(opt.Variant, raw, hat)
+			for e := 0; e < area; e++ {
+				inHat[(e*is.C+c)*totalTiles+j] = hat[e]
+			}
+		}
+	})
+
+	// Batched GEMM: O_hat[e] (K x T) = F_hat[e]^T (K x C) * I_hat[e] (C x T).
+	outHat := make([]float32, area*filters*totalTiles)
+	fT := make([]float32, area*filters*is.C)
+	par.For(area, opt.Workers, func(e int) {
+		base := e * is.C * filters
+		dst := fT[e*filters*is.C : (e+1)*filters*is.C]
+		for c := 0; c < is.C; c++ {
+			for k := 0; k < filters; k++ {
+				dst[k*is.C+c] = fltHat[base+c*filters+k]
+			}
+		}
+	})
+	gemm.Batched(fT, inHat, outHat, area, filters, is.C, totalTiles, opt.Workers)
+
+	// Gather: output transform.
+	out := tensor.New(tensor.KHWN, filters, oh, ow, is.N)
+	par.For(filters, opt.Workers, func(k int) {
+		m := g.m
+		pre := make([]float32, area)
+		post := make([]float32, m*m)
+		for j := 0; j < totalTiles; j++ {
+			for e := 0; e < area; e++ {
+				pre[e] = outHat[(e*filters+k)*totalTiles+j]
+			}
+			TransformOutputTile(opt.Variant, pre, post)
+			batch, th, tw := g.split(j, is.N)
+			scatterOutputTile(out, g, k, batch, th, tw, post)
+		}
+	})
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
