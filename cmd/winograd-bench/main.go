@@ -2,16 +2,21 @@
 //
 // Usage:
 //
-//	winograd-bench [-waves N] [-quick] [-markdown] [experiment ...]
+//	winograd-bench [-waves N] [-quick] [-markdown] [-jobs N] [-timings] [experiment ...]
 //
 // With no arguments it lists the available experiments; "all" runs the
-// whole evaluation in paper order.
+// whole evaluation in paper order. Experiment ids may be repeated and
+// mixed with "all" — the selection is deduplicated and always runs in
+// paper order. Sample simulation is scheduled across -jobs workers with
+// cross-experiment deduplication; tables go to stdout (byte-identical
+// for any -jobs value), timings and scheduling stats to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
@@ -21,6 +26,8 @@ func main() {
 	waves := flag.Int("waves", 4, "occupancy-waves to simulate per sample")
 	quick := flag.Bool("quick", false, "reduced layer/batch sweep")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation jobs (1 = sequential)")
+	timings := flag.Bool("timings", false, "print per-job timing detail to stderr")
 	flag.Parse()
 
 	args := flag.Args()
@@ -33,36 +40,69 @@ func main() {
 		return
 	}
 
+	// Resolve the selection: "all" may be mixed with explicit ids,
+	// duplicates collapse, and the run order is always paper order.
+	// Unknown ids are all reported before exiting non-zero.
+	selected := map[string]bool{}
+	runAll := false
+	var unknown []string
+	seenUnknown := map[string]bool{}
+	for _, id := range args {
+		if id == "all" {
+			runAll = true
+			continue
+		}
+		if _, ok := bench.Get(id); !ok {
+			if !seenUnknown[id] {
+				seenUnknown[id] = true
+				unknown = append(unknown, id)
+			}
+			continue
+		}
+		selected[id] = true
+	}
+	if len(unknown) > 0 {
+		for _, id := range unknown {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+		}
+		fmt.Fprintln(os.Stderr, "run with no arguments for the list")
+		os.Exit(2)
+	}
+	var todo []bench.Experiment
+	for _, e := range bench.All() {
+		if runAll || selected[e.ID] {
+			todo = append(todo, e)
+		}
+	}
+
 	ctx := bench.NewCtx()
 	ctx.Waves = *waves
 	ctx.Quick = *quick
 
-	var todo []bench.Experiment
-	for _, id := range args {
-		if id == "all" {
-			todo = bench.All()
-			break
-		}
-		e, ok := bench.Get(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (run with no arguments for the list)\n", id)
-			os.Exit(2)
-		}
-		todo = append(todo, e)
+	runner := &bench.Runner{Ctx: ctx, Workers: *jobs}
+	start := time.Now()
+	results, stats, err := runner.Run(todo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "winograd-bench: %v\n", err)
+		os.Exit(1)
 	}
 
-	for _, e := range todo {
-		start := time.Now()
-		t, err := e.Run(ctx)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
+	for _, res := range results {
 		if *markdown {
-			fmt.Println(t.Markdown())
+			fmt.Println(res.Table.Markdown())
 		} else {
-			fmt.Println(t.Format())
+			fmt.Println(res.Table.Format())
 		}
-		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(%s rendered in %v)\n", res.Experiment.ID, res.Elapsed.Round(time.Millisecond))
+	}
+
+	fmt.Fprintf(os.Stderr, "simulated %d unique jobs (%d requested, %d deduplicated across experiments) in %v on %d workers; total %v\n",
+		stats.Unique, stats.Requested, stats.Requested-stats.Unique,
+		stats.Prefetch.Round(time.Millisecond), stats.Workers,
+		time.Since(start).Round(time.Millisecond))
+	if *timings {
+		for _, jt := range stats.SlowestJobs(len(stats.Jobs)) {
+			fmt.Fprintf(os.Stderr, "  %8v  %s\n", jt.Elapsed.Round(time.Millisecond), jt.Key)
+		}
 	}
 }

@@ -7,24 +7,19 @@ import (
 	"repro/internal/kernels"
 )
 
-// runAblation measures the design choices DESIGN.md calls out, one knob
+// ablationVariant is one row of the design-choice ablation.
+type ablationVariant struct {
+	name string
+	cfg  kernels.Config
+	note string
+}
+
+// ablationVariants lists the design choices DESIGN.md calls out, one knob
 // at a time from the paper's configuration: P2R predicate packing
 // (Section 3.5), the bk=64 cache block (Section 3.3), and — as a combined
 // reference — the full cuDNN-like configuration.
-func runAblation(c *Ctx) (*Table, error) {
-	dev := gpu.RTX2070()
-	l := Layers()[2] // Conv4: mid-sized, sensitive to all knobs
-	n := 32
-	if c.Quick {
-		l = Layers()[0]
-	}
-	p := l.Problem(n)
-
-	variants := []struct {
-		name string
-		cfg  kernels.Config
-		note string
-	}{
+func ablationVariants() []ablationVariant {
+	return []ablationVariant{
 		{"paper config (bk64, P2R, Natural, LDG8, STS6)", kernels.Ours(), "baseline"},
 		{"no P2R (recompute masks per iteration)", func() kernels.Config {
 			c := kernels.Ours()
@@ -52,11 +47,40 @@ func runAblation(c *Ctx) (*Table, error) {
 		}, "Section 3.3"},
 		{"full cuDNN-like configuration", kernels.CuDNNLike(), "all knobs"},
 	}
+}
+
+// ablationProblem is the layer/batch the ablation measures (Conv4:
+// mid-sized, sensitive to all knobs; Conv2 in Quick mode).
+func ablationProblem(c *Ctx) (Layer, int) {
+	l := Layers()[2]
+	if c.Quick {
+		l = Layers()[0]
+	}
+	return l, 32
+}
+
+func jobsAblation(c *Ctx) []Job {
+	dev := gpu.RTX2070()
+	l, n := ablationProblem(c)
+	var jobs []Job
+	for _, v := range ablationVariants() {
+		jobs = append(jobs,
+			Job{Dev: dev, Cfg: v.cfg, P: l.Problem(n)},
+			Job{Dev: dev, Cfg: v.cfg, P: l.Problem(n), MainOnly: true})
+	}
+	return jobs
+}
+
+// runAblation measures the ablation variants, full kernel and main loop.
+func runAblation(c *Ctx) (*Table, error) {
+	dev := gpu.RTX2070()
+	l, n := ablationProblem(c)
+	p := l.Problem(n)
 
 	t := &Table{ID: "ablation", Title: fmt.Sprintf("Design-choice ablation on %s, %s (full kernel)", l.Tag(n), dev.Name),
 		Header: []string{"Variant", "time (ms)", "vs paper config", "main SOL", "paper ref"}}
 	var base float64
-	for _, v := range variants {
+	for _, v := range ablationVariants() {
 		full, err := c.KernelSample(dev, v.cfg, p, false)
 		if err != nil {
 			return nil, err

@@ -12,28 +12,33 @@ import (
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(*Ctx) (*Table, error)
+	// Jobs declares the simulation samples Run will request, so the
+	// Runner can prefetch the deduplicated union of all requested
+	// experiments' jobs across a worker pool. Nil for experiments that
+	// use no simulator samples (static tables and CPU-only studies).
+	Jobs func(*Ctx) []Job
+	Run  func(*Ctx) (*Table, error)
 }
 
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"table1", "ResNet 3x3 convolutional layers", runTable1},
-		{"table2", "cuDNN Winograd speedup over GEMM convolution on V100", runTable2},
-		{"fig2", "Roofline of the Winograd steps on V100", runFig2},
-		{"fig7", "Main-loop throughput under yield strategies (RTX2070)", runFig7},
-		{"fig8", "Main-loop throughput under LDG scheduling (RTX2070)", runFig8},
-		{"fig9", "Main-loop throughput under STS scheduling (RTX2070)", runFig9},
-		{"table6", "Speedup over cuDNN-like fused Winograd", runTable6},
-		{"table7", "Kernel parameters (ours vs cuDNN's)", runTable7},
-		{"fig10", "Speed of Light on RTX2070", runFigSOL("fig10", gpu.RTX2070())},
-		{"fig11", "Speed of Light on V100", runFigSOL("fig11", gpu.V100())},
-		{"fig12", "Speedup over all cuDNN algorithms (RTX2070)", runFigAlgos("fig12", gpu.RTX2070())},
-		{"fig13", "Speedup over all cuDNN algorithms (V100)", runFigAlgos("fig13", gpu.V100())},
-		{"fig14", "Workspace (MB) required by each algorithm", runFig14},
-		{"breakeven", "Fused vs non-fused break-even K (Section 8.1)", runBreakEven},
-		{"ablation", "One-knob-at-a-time design ablation (DESIGN.md)", runAblation},
-		{"numerics", "F(mxm,3x3) variant numerical error (Section 8.1)", runNumerics},
+		{ID: "table1", Title: "ResNet 3x3 convolutional layers", Run: runTable1},
+		{ID: "table2", Title: "cuDNN Winograd speedup over GEMM convolution on V100", Jobs: jobsTable2, Run: runTable2},
+		{ID: "fig2", Title: "Roofline of the Winograd steps on V100", Run: runFig2},
+		{ID: "fig7", Title: "Main-loop throughput under yield strategies (RTX2070)", Jobs: schedJobs(fig7Variants), Run: runFig7},
+		{ID: "fig8", Title: "Main-loop throughput under LDG scheduling (RTX2070)", Jobs: schedJobs(fig8Variants), Run: runFig8},
+		{ID: "fig9", Title: "Main-loop throughput under STS scheduling (RTX2070)", Jobs: schedJobs(fig9Variants), Run: runFig9},
+		{ID: "table6", Title: "Speedup over cuDNN-like fused Winograd", Jobs: jobsTable6, Run: runTable6},
+		{ID: "table7", Title: "Kernel parameters (ours vs cuDNN's)", Run: runTable7},
+		{ID: "fig10", Title: "Speed of Light on RTX2070", Jobs: jobsFigSOL(gpu.RTX2070()), Run: runFigSOL("fig10", gpu.RTX2070())},
+		{ID: "fig11", Title: "Speed of Light on V100", Jobs: jobsFigSOL(gpu.V100()), Run: runFigSOL("fig11", gpu.V100())},
+		{ID: "fig12", Title: "Speedup over all cuDNN algorithms (RTX2070)", Jobs: jobsFigAlgos(gpu.RTX2070()), Run: runFigAlgos("fig12", gpu.RTX2070())},
+		{ID: "fig13", Title: "Speedup over all cuDNN algorithms (V100)", Jobs: jobsFigAlgos(gpu.V100()), Run: runFigAlgos("fig13", gpu.V100())},
+		{ID: "fig14", Title: "Workspace (MB) required by each algorithm", Run: runFig14},
+		{ID: "breakeven", Title: "Fused vs non-fused break-even K (Section 8.1)", Run: runBreakEven},
+		{ID: "ablation", Title: "One-knob-at-a-time design ablation (DESIGN.md)", Jobs: jobsAblation, Run: runAblation},
+		{ID: "numerics", Title: "F(mxm,3x3) variant numerical error (Section 8.1)", Run: runNumerics},
 	}
 }
 
@@ -66,6 +71,10 @@ var paperTable2 = map[string]float64{
 	"Conv2N64": 1.54, "Conv3N64": 1.50, "Conv4N64": 1.57, "Conv5N64": 0.91,
 	"Conv2N96": 1.59, "Conv3N96": 1.53, "Conv4N96": 1.58, "Conv5N96": 0.81,
 	"Conv2N128": 1.55, "Conv3N128": 1.48, "Conv4N128": 1.67, "Conv5N128": 0.86,
+}
+
+func jobsTable2(c *Ctx) []Job {
+	return sweepJobs(c, gpu.V100(), []kernels.Config{kernels.CuDNNLike()}, false, false)
 }
 
 func runTable2(c *Ctx) (*Table, error) {
@@ -102,12 +111,28 @@ func runFig2(*Ctx) (*Table, error) {
 	return t, nil
 }
 
-// schedFig builds the Figures 7-9 harness: main-loop TFLOPS on RTX2070
-// across layer configs for several kernel-scheduling variants.
-func schedFig(c *Ctx, id, title string, variants []struct {
+// schedVariant names one kernel-scheduling configuration of the
+// Figures 7-9 studies.
+type schedVariant struct {
 	Name string
 	Cfg  kernels.Config
-}) (*Table, error) {
+}
+
+// schedJobs declares the sample jobs of a Figures 7-9 experiment: the
+// hot main-loop sweep over every variant.
+func schedJobs(variants func() []schedVariant) func(*Ctx) []Job {
+	return func(c *Ctx) []Job {
+		var cfgs []kernels.Config
+		for _, v := range variants() {
+			cfgs = append(cfgs, v.Cfg)
+		}
+		return sweepJobs(c, gpu.RTX2070(), cfgs, true, true)
+	}
+}
+
+// schedFig builds the Figures 7-9 harness: main-loop TFLOPS on RTX2070
+// across layer configs for several kernel-scheduling variants.
+func schedFig(c *Ctx, id, title string, variants []schedVariant) (*Table, error) {
 	dev := gpu.RTX2070()
 	header := []string{"Layer"}
 	for _, v := range variants {
@@ -132,21 +157,21 @@ func schedFig(c *Ctx, id, title string, variants []struct {
 	return t, nil
 }
 
-func runFig7(c *Ctx) (*Table, error) {
+func fig7Variants() []schedVariant {
 	mk := func(yield int) kernels.Config {
 		cfg := kernels.Ours()
 		cfg.YieldEvery = yield
 		return cfg
 	}
-	t, err := schedFig(c, "fig7", "Main-loop throughput under yield strategies, RTX2070",
-		[]struct {
-			Name string
-			Cfg  kernels.Config
-		}{
-			{"cuDNN(every7)", mk(7)},
-			{"NVCC(every8)", mk(8)},
-			{"Natural", mk(0)},
-		})
+	return []schedVariant{
+		{"cuDNN(every7)", mk(7)},
+		{"NVCC(every8)", mk(8)},
+		{"Natural", mk(0)},
+	}
+}
+
+func runFig7(c *Ctx) (*Table, error) {
+	t, err := schedFig(c, "fig7", "Main-loop throughput under yield strategies, RTX2070", fig7Variants())
 	if err != nil {
 		return nil, err
 	}
@@ -154,21 +179,21 @@ func runFig7(c *Ctx) (*Table, error) {
 	return t, nil
 }
 
-func runFig8(c *Ctx) (*Table, error) {
+func fig8Variants() []schedVariant {
 	mk := func(gap int) kernels.Config {
 		cfg := kernels.Ours()
 		cfg.LDGGap = gap
 		return cfg
 	}
-	t, err := schedFig(c, "fig8", "Main-loop throughput under LDG scheduling, RTX2070",
-		[]struct {
-			Name string
-			Cfg  kernels.Config
-		}{
-			{"LDG2", mk(2)},
-			{"LDG4", mk(4)},
-			{"LDG8", mk(8)},
-		})
+	return []schedVariant{
+		{"LDG2", mk(2)},
+		{"LDG4", mk(4)},
+		{"LDG8", mk(8)},
+	}
+}
+
+func runFig8(c *Ctx) (*Table, error) {
+	t, err := schedFig(c, "fig8", "Main-loop throughput under LDG scheduling, RTX2070", fig8Variants())
 	if err != nil {
 		return nil, err
 	}
@@ -176,21 +201,21 @@ func runFig8(c *Ctx) (*Table, error) {
 	return t, nil
 }
 
-func runFig9(c *Ctx) (*Table, error) {
+func fig9Variants() []schedVariant {
 	mk := func(gap int) kernels.Config {
 		cfg := kernels.Ours()
 		cfg.STSGap = gap
 		return cfg
 	}
-	t, err := schedFig(c, "fig9", "Main-loop throughput under STS scheduling, RTX2070",
-		[]struct {
-			Name string
-			Cfg  kernels.Config
-		}{
-			{"STS2", mk(2)},
-			{"STS4", mk(4)},
-			{"STS6", mk(6)},
-		})
+	return []schedVariant{
+		{"STS2", mk(2)},
+		{"STS4", mk(4)},
+		{"STS6", mk(6)},
+	}
+}
+
+func runFig9(c *Ctx) (*Table, error) {
+	t, err := schedFig(c, "fig9", "Main-loop throughput under STS scheduling, RTX2070", fig9Variants())
 	if err != nil {
 		return nil, err
 	}
@@ -212,6 +237,15 @@ var paperTable6 = map[string]map[string]float64{
 		"Conv2N96": 1.24, "Conv3N96": 1.38, "Conv4N96": 1.34, "Conv5N96": 2.13,
 		"Conv2N128": 1.23, "Conv3N128": 1.38, "Conv4N128": 1.38, "Conv5N128": 1.97,
 	},
+}
+
+func jobsTable6(c *Ctx) []Job {
+	var jobs []Job
+	for _, dev := range []gpu.Device{gpu.RTX2070(), gpu.V100()} {
+		jobs = append(jobs, sweepJobs(c, dev,
+			[]kernels.Config{kernels.Ours(), kernels.CuDNNLike()}, false, false)...)
+	}
+	return jobs
 }
 
 func runTable6(c *Ctx) (*Table, error) {
@@ -256,6 +290,14 @@ func runTable7(*Ctx) (*Table, error) {
 	return t, nil
 }
 
+func jobsFigSOL(dev gpu.Device) func(*Ctx) []Job {
+	return func(c *Ctx) []Job {
+		ours := []kernels.Config{kernels.Ours()}
+		return append(sweepJobs(c, dev, ours, false, false),
+			sweepJobs(c, dev, ours, true, false)...)
+	}
+}
+
 func runFigSOL(id string, dev gpu.Device) func(*Ctx) (*Table, error) {
 	return func(c *Ctx) (*Table, error) {
 		t := &Table{ID: id, Title: "Speed of Light (achieved %% of peak) on " + dev.Name,
@@ -276,6 +318,12 @@ func runFigSOL(id string, dev gpu.Device) func(*Ctx) (*Table, error) {
 		}
 		t.Note("paper Figures 10-11: main loop up to 93%%, dips for Conv4N32/Conv5N32 where too few blocks fill the device")
 		return t, nil
+	}
+}
+
+func jobsFigAlgos(dev gpu.Device) func(*Ctx) []Job {
+	return func(c *Ctx) []Job {
+		return sweepJobs(c, dev, []kernels.Config{kernels.Ours()}, false, false)
 	}
 }
 

@@ -1,8 +1,8 @@
 package bench
 
 import (
-	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/gpu"
 	"repro/internal/kernels"
@@ -10,6 +10,13 @@ import (
 
 // Ctx carries experiment-wide settings and the simulation cache (many
 // figures share the same kernel samples).
+//
+// The cache is safe for concurrent use: the job Runner fans sample
+// requests out over a worker pool, and identical requests issued from
+// different experiments (or different workers) are deduplicated with a
+// singleflight scheme — the first requester simulates while later
+// requesters of the same key block on its entry, so every distinct
+// sample is simulated exactly once per Ctx.
 type Ctx struct {
 	// Waves is how many occupancy-waves of blocks to sample per SM; the
 	// first wave warms the L2, later waves approximate steady state.
@@ -18,7 +25,20 @@ type Ctx struct {
 	// by tests and -short benchmarks).
 	Quick bool
 
-	cache map[string]*Sample
+	mu    sync.Mutex
+	cache map[string]*sampleEntry
+	// computes counts, per cache key, how many times the simulator
+	// actually ran — the observable the cross-experiment dedup tests and
+	// the runner's stats assert on (every value must be 1).
+	computes map[string]int
+}
+
+// sampleEntry is one singleflight cache slot: done is closed when the
+// owning goroutine has filled s/err.
+type sampleEntry struct {
+	done chan struct{}
+	s    *Sample
+	err  error
 }
 
 // NewCtx returns a context with default sampling depth.
@@ -46,47 +66,84 @@ func (c *Ctx) waves() int {
 // strided across the grid so the SM sees the L2 locality of the real
 // concurrent block mix (right for end-to-end comparisons).
 func (c *Ctx) KernelSample(dev gpu.Device, cfg kernels.Config, p kernels.Problem, mainOnly bool) (*Sample, error) {
-	return c.sample(dev, cfg, p, mainOnly, false)
+	return c.sample(Job{Dev: dev, Cfg: cfg, P: p, MainOnly: mainOnly})
 }
 
 // KernelSampleHot samples sequential blocks instead: maximal L2 reuse,
 // the compute-bound steady state the paper's main-loop scheduling studies
 // (Figures 7-9) measure.
 func (c *Ctx) KernelSampleHot(dev gpu.Device, cfg kernels.Config, p kernels.Problem, mainOnly bool) (*Sample, error) {
-	return c.sample(dev, cfg, p, mainOnly, true)
+	return c.sample(Job{Dev: dev, Cfg: cfg, P: p, MainOnly: mainOnly, Hot: true})
 }
 
-func (c *Ctx) sample(dev gpu.Device, cfg kernels.Config, p kernels.Problem, mainOnly, hot bool) (*Sample, error) {
-	key := fmt.Sprintf("%s|%+v|%+v|%v|%v|%d", dev.Name, cfg, p, mainOnly, hot, c.waves())
+// sample returns the cached sample for j, simulating it at most once per
+// Ctx (concurrent requests for one key share a single simulation).
+func (c *Ctx) sample(j Job) (*Sample, error) {
+	key := j.Key(c.waves())
+	c.mu.Lock()
 	if c.cache == nil {
-		c.cache = map[string]*Sample{}
+		c.cache = map[string]*sampleEntry{}
+		c.computes = map[string]int{}
 	}
-	if s, ok := c.cache[key]; ok {
-		return s, nil
+	if e, ok := c.cache[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.s, e.err
 	}
-	k, err := kernels.Generate(cfg, p, mainOnly)
+	e := &sampleEntry{done: make(chan struct{})}
+	c.cache[key] = e
+	c.computes[key]++
+	c.mu.Unlock()
+
+	e.s, e.err = c.simulate(j)
+	close(e.done)
+	return e.s, e.err
+}
+
+// simulate runs one sample job on a fresh simulator instance.
+func (c *Ctx) simulate(j Job) (*Sample, error) {
+	k, err := kernels.Generate(j.Cfg, j.P, j.MainOnly)
 	if err != nil {
 		return nil, err
 	}
-	occ, err := dev.OccupancyFor(256, k.NumRegs, k.SmemBytes)
+	occ, err := j.Dev.OccupancyFor(256, k.NumRegs, k.SmemBytes)
 	if err != nil {
 		return nil, err
 	}
-	res, err := kernels.RunConvSampled(dev, cfg, p, occ.BlocksPerSM*c.waves(), mainOnly, hot)
+	res, err := kernels.RunConvSampled(j.Dev, j.Cfg, j.P, occ.BlocksPerSM*c.waves(), j.MainOnly, j.Hot)
 	if err != nil {
 		return nil, err
 	}
-	gx, gy, gz := kernels.GridFor(cfg, p)
-	s := &Sample{
+	gx, gy, gz := kernels.GridFor(j.Cfg, j.P)
+	return &Sample{
 		CyclesPerWave: float64(res.Main.Cycles) / float64(c.waves()),
 		FLOPsPerWave:  res.Main.FLOPs() / float64(c.waves()) / float64(res.Main.SimSMs),
 		SOL:           res.Main.SOL(),
 		Occ:           occ,
 		TotalBlocks:   gx * gy * gz,
 		Metrics:       res.Main,
+	}, nil
+}
+
+// SimulatedSamples reports how many distinct samples this Ctx has
+// actually simulated (cache misses; hits are free).
+func (c *Ctx) SimulatedSamples() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.computes)
+}
+
+// ComputeCounts returns a copy of the per-key simulation counts. Under
+// correct deduplication every count is exactly 1 however many
+// experiments or workers requested the key.
+func (c *Ctx) ComputeCounts() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.computes))
+	for k, v := range c.computes {
+		out[k] = v
 	}
-	c.cache[key] = s
-	return s, nil
+	return out
 }
 
 // Seconds extrapolates a sample to full-device runtime via wave

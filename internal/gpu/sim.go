@@ -11,6 +11,18 @@ import (
 // Sim owns the simulated device: its global memory, the allocator, and
 // launch machinery. One Sim can run many launches; memory persists across
 // launches (so a filter-transform kernel can feed the main kernel).
+//
+// Concurrency contract: independent Sim instances share no mutable
+// state — every NewSim allocates its own memory image, allocator offset,
+// and L2 model, and Launch decodes the kernel into a fresh instruction
+// slice — so any number of Sims may run concurrently (the concurrent
+// benchmark runner relies on this; `go test -race ./internal/gpu` keeps
+// it honest). A single Sim is NOT safe for concurrent use: Alloc,
+// WriteF32/ReadF32, and Launch all mutate the shared memory image and L2
+// model and must be serialized by the caller. Device is a plain value
+// with read-only methods and may be copied and shared freely; the
+// launched *cubin.Kernel is only read, so one cached kernel may feed
+// many concurrent Sims.
 type Sim struct {
 	Dev Device
 	// HazardCheck enables the control-code validator: instructions that

@@ -1,0 +1,89 @@
+package gpu
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIndependentSims exercises the Sim concurrency contract
+// the benchmark runner depends on: independent Sim instances running the
+// same (shared, read-only) kernel concurrently must not interfere — in
+// results or under the race detector.
+func TestConcurrentIndependentSims(t *testing.T) {
+	k := assemble(t, saxpySrc)
+	const goroutines = 8
+	const n = 100
+
+	type out struct {
+		cycles int64
+		ys     []float32
+	}
+	outs := make([]out, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := NewSim(RTX2070())
+			x := s.Alloc(4 * 128)
+			y := s.Alloc(4 * 128)
+			xs := make([]float32, 128)
+			ys := make([]float32, 128)
+			for i := range xs {
+				xs[i] = float32(i)
+				ys[i] = float32(2 * i)
+			}
+			s.WriteF32(x.Addr, xs)
+			s.WriteF32(y.Addr, ys)
+			m, err := s.Launch(k, LaunchOpts{
+				Grid: 4, Block: 32,
+				Params: []uint32{x.Addr, y.Addr, f32ToBits(0.5), n},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			outs[g] = out{cycles: m.Cycles, ys: s.ReadF32(y.Addr, 128)}
+		}(g)
+	}
+	wg.Wait()
+
+	// Every instance must produce the identical deterministic result.
+	for g := 1; g < goroutines; g++ {
+		if outs[g].cycles != outs[0].cycles {
+			t.Fatalf("sim %d took %d cycles, sim 0 took %d: instances interfered",
+				g, outs[g].cycles, outs[0].cycles)
+		}
+		for i := range outs[0].ys {
+			if outs[g].ys[i] != outs[0].ys[i] {
+				t.Fatalf("sim %d y[%d] = %v, sim 0 = %v", g, i, outs[g].ys[i], outs[0].ys[i])
+			}
+		}
+	}
+}
+
+// TestOccupancyForConcurrent checks the occupancy calculator is pure:
+// concurrent calls on one shared Device value agree.
+func TestOccupancyForConcurrent(t *testing.T) {
+	dev := V100()
+	want, err := dev.OccupancyFor(256, 128, 32*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := dev.OccupancyFor(256, 128, 32*1024)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got != want {
+				t.Errorf("occupancy %+v, want %+v", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -55,6 +55,18 @@ func CuDNNLike() Config {
 	return Config{BK: 32, YieldEvery: 7, LDGGap: 2, STSGap: 2, UseP2R: true, DeclaredSmem: 48 * 1024}
 }
 
+// Key renders the configuration as a canonical cache key. Defaults are
+// applied first, so two spellings of the same effective configuration
+// (e.g. LDGGap 0 and LDGGap 8) share one key, while any two configs that
+// generate different kernels never collide: every knob — BK, YieldEvery,
+// LDGGap, STSGap, UseP2R, DeclaredSmem — appears as its own
+// unambiguously delimited field.
+func (c Config) Key() string {
+	c = c.withDefaults()
+	return fmt.Sprintf("bk%d,yield%d,ldg%d,sts%d,p2r%t,smem%d",
+		c.BK, c.YieldEvery, c.LDGGap, c.STSGap, c.UseP2R, c.DeclaredSmem)
+}
+
 func (c Config) withDefaults() Config {
 	if c.BK == 0 {
 		c.BK = 64
@@ -103,6 +115,11 @@ func (p Problem) Validate(bk int) error {
 		return fmt.Errorf("kernels: H=%d, W=%d must be at least 2", p.H, p.W)
 	}
 	return nil
+}
+
+// Key renders the problem shape as a canonical cache key.
+func (p Problem) Key() string {
+	return fmt.Sprintf("c%d,k%d,n%d,h%d,w%d", p.C, p.K, p.N, p.H, p.W)
 }
 
 // TilesH and TilesW are the output-tile grid dimensions (ceiling: the

@@ -1,0 +1,157 @@
+package kernels
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConfigKeyDistinct builds a grid over every knob and checks that any
+// two configurations that differ after normalization get distinct keys.
+func TestConfigKeyDistinct(t *testing.T) {
+	var cfgs []Config
+	for _, bk := range []int{32, 64} {
+		for _, yield := range []int{0, 7, 8} {
+			for _, ldg := range []int{2, 4, 8} {
+				for _, sts := range []int{2, 6} {
+					for _, p2r := range []bool{false, true} {
+						for _, smem := range []int{0, 48 * 1024} {
+							cfgs = append(cfgs, Config{BK: bk, YieldEvery: yield,
+								LDGGap: ldg, STSGap: sts, UseP2R: p2r, DeclaredSmem: smem})
+						}
+					}
+				}
+			}
+		}
+	}
+	seen := map[string]Config{}
+	for _, c := range cfgs {
+		k := c.Key()
+		if prev, ok := seen[k]; ok && prev.withDefaults() != c.withDefaults() {
+			t.Fatalf("distinct configs collide on key %q:\n%+v\n%+v", k, prev, c)
+		}
+		seen[k] = c
+	}
+	if len(seen) != len(cfgs) {
+		t.Fatalf("grid of %d distinct configs produced %d keys", len(cfgs), len(seen))
+	}
+}
+
+// TestConfigKeyRoundTripsEveryKnob flips each knob one at a time from the
+// paper's configuration and requires the key to change — no knob may be
+// dropped from the key (the failure mode of the old %+v-format cache key).
+func TestConfigKeyRoundTripsEveryKnob(t *testing.T) {
+	base := Ours()
+	mutations := map[string]func(*Config){
+		"BK":           func(c *Config) { c.BK = 32 },
+		"YieldEvery":   func(c *Config) { c.YieldEvery = 7 },
+		"LDGGap":       func(c *Config) { c.LDGGap = 2 },
+		"STSGap":       func(c *Config) { c.STSGap = 2 },
+		"UseP2R":       func(c *Config) { c.UseP2R = !c.UseP2R },
+		"DeclaredSmem": func(c *Config) { c.DeclaredSmem = 48 * 1024 },
+	}
+	for knob, mutate := range mutations {
+		c := base
+		mutate(&c)
+		if c.Key() == base.Key() {
+			t.Errorf("changing %s does not change the key %q", knob, base.Key())
+		}
+	}
+}
+
+// TestConfigKeyCanonical checks that default-equivalent spellings share a
+// key: a zero knob and its explicit default are the same kernel.
+func TestConfigKeyCanonical(t *testing.T) {
+	zero := Config{BK: 64, UseP2R: true}
+	explicit := Config{BK: 64, YieldEvery: 0, LDGGap: 8, STSGap: 6, UseP2R: true}
+	if zero.Key() != explicit.Key() {
+		t.Fatalf("equivalent configs get different keys:\n%q\n%q", zero.Key(), explicit.Key())
+	}
+	for _, want := range []string{"bk64", "yield0", "ldg8", "sts6", "p2rtrue", "smem0"} {
+		if !strings.Contains(zero.Key(), want) {
+			t.Errorf("key %q missing field %q", zero.Key(), want)
+		}
+	}
+}
+
+func TestProblemKey(t *testing.T) {
+	a := Problem{C: 64, K: 64, N: 32, H: 56, W: 56}
+	b := a
+	b.W = 28
+	if a.Key() == b.Key() {
+		t.Fatalf("distinct problems share key %q", a.Key())
+	}
+	if a.Key() != (Problem{C: 64, K: 64, N: 32, H: 56, W: 56}).Key() {
+		t.Fatal("identical problems must share a key")
+	}
+}
+
+// TestGenerateCached checks the generation cache: repeated and concurrent
+// Generate calls for one kernel return the identical assembled object and
+// the generator runs once per distinct key.
+func TestGenerateCached(t *testing.T) {
+	cfg := Ours()
+	p := Problem{C: 8, K: 64, N: 32, H: 4, W: 4}
+	before := GeneratedKernels()
+	k1, err := Generate(cfg, p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	kernels := make([]interface{}, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k, err := Generate(cfg, p, false)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			kernels[i] = k
+		}(i)
+	}
+	wg.Wait()
+	for i, k := range kernels {
+		if k != interface{}(k1) {
+			t.Fatalf("goroutine %d got a different kernel object", i)
+		}
+	}
+	// The first call may or may not have been the one to populate the
+	// cache (earlier tests share the process-wide cache), but this key must
+	// have been generated at most once since `before`.
+	if n := GeneratedKernels() - before; n > 1 {
+		t.Fatalf("kernel generated %d times for one key", n)
+	}
+
+	// A different key generates a fresh kernel.
+	k2, err := Generate(cfg, p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 == k1 {
+		t.Fatal("mainLoopOnly variant must not share the full kernel's cache entry")
+	}
+}
+
+func TestGenerateFTFCached(t *testing.T) {
+	k1, err := GenerateFTF(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := GenerateFTF(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("GenerateFTF must return the cached kernel for one K")
+	}
+	k3, err := GenerateFTF(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Fatal("different K must not share an FTF cache entry")
+	}
+}

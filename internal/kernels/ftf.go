@@ -15,9 +15,11 @@ func FTFBlock(k int) int {
 	return k
 }
 
-// GenerateFTF emits the filter-transform kernel (the paper's separate "FX"
+// generateFTF emits the filter-transform kernel (the paper's separate "FX"
 // kernel, Section 4.1): each thread transforms one (c, k) 3x3 filter tile
 // with G f G^T (28 float instructions) and stores the 4x4 result.
+// GenerateFTF (the cached front door in gencache.go) is the entry point
+// callers use.
 //
 // Layouts: input filter is CRSK — (C, 3, 3, K) — so a warp's loads walk
 // consecutive k and are fully coalesced; output is (C, 16, K), the CR'S'K
@@ -25,7 +27,7 @@ func FTFBlock(k int) int {
 //
 // Grid: x = K / block, y = C. Params: +0x0 filter pointer, +0x4 output
 // pointer, +0x8 K*4.
-func GenerateFTF(k int) (*cubin.Kernel, error) {
+func generateFTF(k int) (*cubin.Kernel, error) {
 	if k <= 0 || k%32 != 0 {
 		return nil, fmt.Errorf("kernels: FTF needs K to be a positive multiple of 32, got %d", k)
 	}

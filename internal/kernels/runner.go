@@ -38,6 +38,11 @@ func RunConv(dev gpu.Device, cfg Config, p Problem, in, flt *tensor.Tensor,
 	return runConv(dev, cfg, p, in, flt, sampleBlocks, mainLoopOnly, hazardCheck, false)
 }
 
+// runConv is safe for concurrent calls: every invocation allocates its
+// own gpu.Sim (device memory, allocator, L2 model) and its own buffers,
+// so independent simulations never share mutable state. The generated
+// kernels come from the process-wide generation cache and are shared
+// read-only (see gencache.go).
 func runConv(dev gpu.Device, cfg Config, p Problem, in, flt *tensor.Tensor,
 	sampleBlocks int, mainLoopOnly bool, hazardCheck bool, hot bool) (*ConvResult, error) {
 	cfg = cfg.withDefaults()

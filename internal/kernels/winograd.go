@@ -92,12 +92,9 @@ func GridFor(cfg Config, p Problem) (x, y, z int) {
 	return p.N / 32, p.TilesH() * p.TilesW(), p.K / cfg.BK
 }
 
-// Generate emits, assembles, and returns the fused Winograd kernel for
-// one problem shape (the generator specializes all strides as immediates,
-// as the paper's inline-Python TuringAs templates do). When mainLoopOnly
-// is set the kernel exits right after the main loop — the configuration
-// used to measure main-loop throughput (Figures 7-9) and main-loop SOL.
-func Generate(cfg Config, p Problem, mainLoopOnly bool) (*cubin.Kernel, error) {
+// generate emits and assembles the fused Winograd kernel; Generate (the
+// cached front door in gencache.go) is the entry point callers use.
+func generate(cfg Config, p Problem, mainLoopOnly bool) (*cubin.Kernel, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err

@@ -1,5 +1,5 @@
-// Package par holds the tiny data-parallel loop helper shared by the CPU
-// compute kernels in this repository.
+// Package par holds the tiny data-parallel loop helpers shared by the CPU
+// compute kernels and the benchmark job runner in this repository.
 package par
 
 import (
@@ -43,4 +43,60 @@ func For(n, workers int, f func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForErr runs f(i) for i in [0, n) across at most workers goroutines
+// (GOMAXPROCS when workers <= 0) with the same dynamic load balancing as
+// For. The first error wins: once any call fails, remaining indices are
+// drained without running f, in-flight calls finish, and ForErr returns
+// that first error after every worker has stopped. With no failures it
+// returns nil after every index has run exactly once.
+func ForErr(n, workers int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    int64
+		stopped int32
+		mu      sync.Mutex
+		first   error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for atomic.LoadInt32(&stopped) == 0 {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					atomic.StoreInt32(&stopped, 1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
 }

@@ -1,6 +1,8 @@
 package par
 
 import (
+	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 )
@@ -34,5 +36,86 @@ func TestForMoreWorkersThanWork(t *testing.T) {
 	For(3, 100, func(i int) { atomic.AddInt64(&total, int64(i)) })
 	if total != 3 {
 		t.Fatalf("sum = %d, want 3", total)
+	}
+}
+
+func TestForErrRunsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 1000
+		counts := make([]int64, n)
+		err := ForErr(n, workers, func(i int) error {
+			atomic.AddInt64(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForErrZeroAndNegative(t *testing.T) {
+	ran := false
+	if err := ForErr(0, 4, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForErr(-3, 4, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("ForErr must not call f for n <= 0")
+	}
+}
+
+func TestForErrFirstErrorWins(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4, 16} {
+		const n = 100
+		counts := make([]int64, n)
+		err := ForErr(n, workers, func(i int) error {
+			atomic.AddInt64(&counts[i], 1)
+			if i == 5 {
+				return fmt.Errorf("index %d: %w", i, sentinel)
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: error = %v, want wrapped sentinel", workers, err)
+		}
+		for i, c := range counts {
+			if c > 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForErrSequentialStopsImmediately(t *testing.T) {
+	var calls int64
+	err := ForErr(100, 1, func(i int) error {
+		atomic.AddInt64(&calls, 1)
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if calls != 4 {
+		t.Fatalf("sequential ForErr ran %d calls after error at index 3, want 4", calls)
+	}
+}
+
+func TestForErrConcurrentErrors(t *testing.T) {
+	// Every call fails; exactly one error must be reported and the loop
+	// must terminate.
+	err := ForErr(64, 8, func(i int) error { return fmt.Errorf("err %d", i) })
+	if err == nil {
+		t.Fatal("expected an error")
 	}
 }
