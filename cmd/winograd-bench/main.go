@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -23,21 +24,32 @@ import (
 )
 
 func main() {
-	waves := flag.Int("waves", 4, "occupancy-waves to simulate per sample")
-	quick := flag.Bool("quick", false, "reduced layer/batch sweep")
-	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
-	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation jobs (1 = sequential)")
-	timings := flag.Bool("timings", false, "print per-job timing detail to stderr")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	args := flag.Args()
+// run is the whole CLI behind an injectable argv and output streams, so
+// the golden-table test can assert on exact stdout bytes. Tables go to
+// stdout only; everything timing-dependent goes to stderr.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("winograd-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	waves := fs.Int("waves", 4, "occupancy-waves to simulate per sample")
+	quick := fs.Bool("quick", false, "reduced layer/batch sweep")
+	markdown := fs.Bool("markdown", false, "emit GitHub-flavoured markdown")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation jobs (1 = sequential)")
+	timings := fs.Bool("timings", false, "print per-job timing detail to stderr")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	args := fs.Args()
 	if len(args) == 0 {
-		fmt.Println("experiments:")
+		fmt.Fprintln(stdout, "experiments:")
 		for _, e := range bench.All() {
-			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "  %-10s %s\n", e.ID, e.Title)
 		}
-		fmt.Println("  all        run everything in paper order")
-		return
+		fmt.Fprintln(stdout, "  all        run everything in paper order")
+		return 0
 	}
 
 	// Resolve the selection: "all" may be mixed with explicit ids,
@@ -63,10 +75,10 @@ func main() {
 	}
 	if len(unknown) > 0 {
 		for _, id := range unknown {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			fmt.Fprintf(stderr, "unknown experiment %q\n", id)
 		}
-		fmt.Fprintln(os.Stderr, "run with no arguments for the list")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "run with no arguments for the list")
+		return 2
 	}
 	var todo []bench.Experiment
 	for _, e := range bench.All() {
@@ -83,26 +95,27 @@ func main() {
 	start := time.Now()
 	results, stats, err := runner.Run(todo)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "winograd-bench: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "winograd-bench: %v\n", err)
+		return 1
 	}
 
 	for _, res := range results {
 		if *markdown {
-			fmt.Println(res.Table.Markdown())
+			fmt.Fprintln(stdout, res.Table.Markdown())
 		} else {
-			fmt.Println(res.Table.Format())
+			fmt.Fprintln(stdout, res.Table.Format())
 		}
-		fmt.Fprintf(os.Stderr, "(%s rendered in %v)\n", res.Experiment.ID, res.Elapsed.Round(time.Millisecond))
+		fmt.Fprintf(stderr, "(%s rendered in %v)\n", res.Experiment.ID, res.Elapsed.Round(time.Millisecond))
 	}
 
-	fmt.Fprintf(os.Stderr, "simulated %d unique jobs (%d requested, %d deduplicated across experiments) in %v on %d workers; total %v\n",
+	fmt.Fprintf(stderr, "simulated %d unique jobs (%d requested, %d deduplicated across experiments) in %v on %d workers; total %v\n",
 		stats.Unique, stats.Requested, stats.Requested-stats.Unique,
 		stats.Prefetch.Round(time.Millisecond), stats.Workers,
 		time.Since(start).Round(time.Millisecond))
 	if *timings {
 		for _, jt := range stats.SlowestJobs(len(stats.Jobs)) {
-			fmt.Fprintf(os.Stderr, "  %8v  %s\n", jt.Elapsed.Round(time.Millisecond), jt.Key)
+			fmt.Fprintf(stderr, "  %8v  %s\n", jt.Elapsed.Round(time.Millisecond), jt.Key)
 		}
 	}
+	return 0
 }

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden quick-sweep table file")
+
+const goldenPath = "testdata/quick_all.golden"
+
+func runCapture(t *testing.T, argv ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(argv, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+// TestQuickSweepGolden pins the full quick-sweep stdout — every table of
+// every experiment — to a committed golden file, byte for byte. This is
+// the simulator's determinism contract: any change to cycle accounting,
+// table formatting, or experiment order shows up as a diff here. The
+// sweep must also be independent of the worker count, so the sequential
+// and concurrent schedules are both compared.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./cmd/winograd-bench -run TestQuickSweepGolden -update
+func TestQuickSweepGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick sweep takes several seconds")
+	}
+	seq, _, code := runCapture(t, "-quick", "-jobs", "1", "all")
+	if code != 0 {
+		t.Fatalf("sequential run exited %d", code)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(seq), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(seq))
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if diff := firstDiff(string(golden), seq); diff != "" {
+		t.Errorf("-jobs 1 stdout diverges from %s:\n%s", goldenPath, diff)
+	}
+
+	par, _, code := runCapture(t, "-quick", "-jobs", "4", "all")
+	if code != 0 {
+		t.Fatalf("concurrent run exited %d", code)
+	}
+	if diff := firstDiff(seq, par); diff != "" {
+		t.Errorf("-jobs 4 stdout diverges from -jobs 1:\n%s", diff)
+	}
+}
+
+// firstDiff renders the first line-level difference between two texts
+// (empty when identical), keeping failure output readable.
+func firstDiff(want, got string) string {
+	if want == got {
+		return ""
+	}
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d, got %d", len(wl), len(gl))
+}
+
+// TestListAndUnknown covers the no-argument listing and the unknown-id
+// error path without running any simulation.
+func TestListAndUnknown(t *testing.T) {
+	out, _, code := runCapture(t)
+	if code != 0 || !strings.Contains(out, "experiments:") || !strings.Contains(out, "all        run everything") {
+		t.Fatalf("listing: code=%d out=%q", code, out)
+	}
+	out, errOut, code := runCapture(t, "nope", "table1", "nope", "alsobad")
+	if code != 2 {
+		t.Fatalf("unknown ids: code=%d", code)
+	}
+	if out != "" {
+		t.Fatalf("unknown ids wrote to stdout: %q", out)
+	}
+	for _, want := range []string{`unknown experiment "nope"`, `unknown experiment "alsobad"`} {
+		if !strings.Contains(errOut, want) {
+			t.Fatalf("stderr %q missing %q", errOut, want)
+		}
+	}
+	if strings.Count(errOut, `"nope"`) != 1 {
+		t.Fatalf("duplicate unknown id reported twice: %q", errOut)
+	}
+}

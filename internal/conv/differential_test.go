@@ -1,0 +1,149 @@
+package conv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/winograd"
+)
+
+// winogradDiff compares a Direct result (NCHW) against a winograd.Conv2D
+// result (KHWN) element-wise and returns the max relative difference.
+func winogradDiff(t *testing.T, direct, wino *tensor.Tensor) float64 {
+	t.Helper()
+	n, k := direct.Dims[0], direct.Dims[1]
+	oh, ow := direct.Dims[2], direct.Dims[3]
+	if wino.Dims != [4]int{k, oh, ow, n} {
+		t.Fatalf("winograd output dims %v, want KHWN %v", wino.Dims, [4]int{k, oh, ow, n})
+	}
+	var maxDiff float64
+	for ni := 0; ni < n; ni++ {
+		for ki := 0; ki < k; ki++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					want := float64(direct.At(ni, ki, y, x))
+					got := float64(wino.At(ki, y, x, ni))
+					d := math.Abs(got - want)
+					if mag := math.Abs(want); mag > 1 {
+						d /= mag
+					}
+					if d > maxDiff {
+						maxDiff = d
+					}
+				}
+			}
+		}
+	}
+	return maxDiff
+}
+
+// winogradTol is the acceptance bound for F(2x2,3x3) against the direct
+// oracle. The transform matrices are exact in fp32 (entries 0, ±1, ±1/2),
+// so the error is pure accumulation-order noise; the paper reports
+// max_err ~1e-4 for its fp32 F(4x4) kernels (Table 5) and F(2x2) is
+// strictly better conditioned.
+const winogradTol = 1e-4
+
+// TestDifferentialAlgorithms cross-checks every convolution implementation
+// in the repository on randomized shapes, strides, and pads:
+//
+//	Direct (oracle) vs Im2col          — all strides/pads
+//	Direct vs FFT                      — stride 1 (FFT rejects stride > 1)
+//	Direct vs winograd.Conv2D          — stride-1 3x3, fused and non-fused,
+//	                                     F(2x2) and F(4x4), including block
+//	                                     remainders and N=1
+//
+// Shapes are drawn from a seeded generator so failures reproduce; edge
+// cases the blocking logic must survive (N=1, C/K not divisible by the
+// bc/bk cache blocks) are forced every few iterations rather than left to
+// chance.
+func TestDifferentialAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	const rounds = 40
+	for round := 0; round < rounds; round++ {
+		s := tensor.Shape4{
+			N: rng.Intn(4) + 1,
+			C: rng.Intn(12) + 1,
+			H: rng.Intn(12) + 4,
+			W: rng.Intn(12) + 4,
+		}
+		k := rng.Intn(12) + 1
+		fr, fs := 3, 3
+		p := Params{Pad: rng.Intn(2), Stride: rng.Intn(2) + 1}
+		switch round % 4 {
+		case 1:
+			// Batch-of-one with channel counts straddling the default
+			// Winograd cache blocks (bc=8, bk=64 ⇒ remainders 9%8, 65%64).
+			s.N, s.C, k = 1, 9, 65
+			p = Params{Pad: 1, Stride: 1}
+		case 2:
+			// Non-square input, no padding, rectangular filter for the
+			// baselines (Winograd is skipped automatically: needs 3x3).
+			s.H += 3
+			fr, fs = rng.Intn(3)+1, rng.Intn(3)+1
+		case 3:
+			// Stride 2: Direct vs Im2col only.
+			p.Stride = 2
+		}
+		in, flt := randomProblem(uint64(round)*7919+1, s, k, tensor.NCHW)
+		if fr != 3 || fs != 3 {
+			flt = tensor.NewFilter(tensor.KCRS, tensor.FilterShape{K: k, C: s.C, R: fr, S: fs})
+			flt.FillRandom(uint64(round)*7919 + 2)
+		}
+		want, err := Direct(in, flt, p)
+		if err != nil {
+			// Geometry produced an empty output; not a differential case.
+			continue
+		}
+
+		got, err := Im2col(in, flt, p)
+		if err != nil {
+			t.Fatalf("round %d %+v k=%d p=%+v: im2col: %v", round, s, k, p, err)
+		}
+		if d := tensor.MaxRelDiff(want, got); d > 1e-4 {
+			t.Fatalf("round %d %+v k=%d p=%+v: im2col differs by %v", round, s, k, p, d)
+		}
+
+		if p.stride() == 1 {
+			got, err := FFT(in, flt, p)
+			if err != nil {
+				t.Fatalf("round %d %+v k=%d p=%+v: fft: %v", round, s, k, p, err)
+			}
+			if d := tensor.MaxRelDiff(want, got); d > 1e-4 {
+				t.Fatalf("round %d %+v k=%d p=%+v: fft differs by %v", round, s, k, p, d)
+			}
+		}
+
+		if p.stride() != 1 || fr != 3 || fs != 3 {
+			continue
+		}
+		for _, wopt := range []struct {
+			name string
+			opt  winograd.Options
+		}{
+			{"F2-fused", winograd.Options{Workers: 1}},
+			{"F2-nonfused", winograd.Options{NonFused: true, Workers: 1}},
+			{"F4-fused", winograd.Options{Variant: winograd.F4x4, Workers: 1}},
+			// Tiny cache blocks so every shape exercises partial-block
+			// edges in all three dimensions.
+			{"F2-smallblocks", winograd.Options{BlockK: 4, BlockN: 2, BlockC: 3, Workers: 1}},
+		} {
+			wout, err := winograd.Conv2D(in, flt, p.Pad, wopt.opt)
+			if err != nil {
+				t.Fatalf("round %d %+v k=%d pad=%d: winograd %s: %v", round, s, k, p.Pad, wopt.name, err)
+			}
+			tol := winogradTol
+			if wopt.opt.Variant == winograd.F4x4 {
+				// F(4x4) transform matrices contain non-representable
+				// rationals; the paper's own fp32 bound (Table 5).
+				tol = 5e-4
+			}
+			if d := winogradDiff(t, want, wout); d > tol {
+				t.Fatalf("round %d %+v k=%d pad=%d: winograd %s differs by %v (tol %v)",
+					round, s, k, p.Pad, wopt.name, d, tol)
+			}
+		}
+	}
+}

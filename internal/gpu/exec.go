@@ -36,11 +36,27 @@ type warp struct {
 	reuseMask  uint8
 	lastYield  bool
 
+	// memReq is the warp's memory-request scratch: exec fills it and the
+	// scheduler consumes it within the same issue, so one buffer per warp
+	// (not one allocation per memory instruction) suffices.
+	memReq memRequest
+
 	// Hazard-checker state: the cycle at which each register's pending
 	// write completes, and which dependency barrier guards it (-1 none).
 	regReadyAt []int64
 	regBar     []int8
 	barRegs    [6][]sass.Reg
+}
+
+// quiescent reports whether the warp has no outstanding dependency-barrier
+// releases in flight (and so no event queue entry can still reference it).
+func (w *warp) quiescent() bool {
+	for _, p := range w.barPending {
+		if p != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // blockState is one resident thread block.
@@ -78,9 +94,6 @@ type execResult struct {
 	exited   bool
 	branched bool
 	barrier  bool // BAR.SYNC
-	srcRegs  []sass.Reg
-	fpOp     bool
-	intOp    bool
 }
 
 // memRequest describes one warp-level memory instruction for the MIO model.
@@ -124,6 +137,19 @@ func (w *warp) writeReg(r sass.Reg, lane int, v uint32) {
 	w.regs[r][lane] = v
 }
 
+// zeroRegs is the read-only lane image of RZ, so uniform fast paths can
+// treat every source as a plain array pointer. Never written.
+var zeroRegs [warpSize]uint32
+
+// srcPtr returns the lane array backing register r for reading (RZ reads
+// as the shared zero image).
+func (w *warp) srcPtr(r sass.Reg) *[warpSize]uint32 {
+	if r == sass.RZ {
+		return &zeroRegs
+	}
+	return &w.regs[r]
+}
+
 // operandB resolves the flexible b operand for one lane.
 func (w *warp) operandB(in *sass.Inst, lane int, consts []uint32) uint32 {
 	switch in.SrcMode {
@@ -140,34 +166,82 @@ func (w *warp) operandB(in *sass.Inst, lane int, consts []uint32) uint32 {
 	}
 }
 
+// scalarB resolves a lane-invariant b operand (immediate or constant).
+// Only valid when in.SrcMode != SrcReg.
+func scalarB(in *sass.Inst, consts []uint32) uint32 {
+	if in.SrcMode == sass.SrcImm {
+		return in.Imm
+	}
+	ofs := int(in.ConstOfs) / 4
+	if in.ConstBank != 0 || ofs >= len(consts) {
+		return 0
+	}
+	return consts[ofs]
+}
+
 // exec executes one instruction functionally across the warp and reports
 // its machine requirements. Memory instructions have their addresses
 // computed here; the data movement happens in the simulator so that the
 // MIO model can account for it first.
-func (w *warp) exec(in *sass.Inst, consts []uint32) (execResult, error) {
+//
+// The hot opcodes each have a fast path for the common shape — guard
+// predicate PT (mi.uniform), register or lane-invariant operands, a real
+// destination — that walks the lane arrays through direct pointers with
+// no per-lane predicate or RZ checks. The general path below each one is
+// the semantic reference; the fast paths compute bit-identical results
+// (FP expressions keep the exact a*b+c shape so rounding cannot change).
+func (w *warp) exec(in *sass.Inst, mi *instMeta, consts []uint32) (execResult, error) {
 	var res execResult
-	res.srcRegs = sourceRegs(in)
 	switch in.Op {
 	case sass.OpNOP:
 	case sass.OpEXIT:
-		if err := w.uniformGuard(in); err != nil {
-			return res, err
+		if !mi.uniform {
+			if err := w.uniformGuard(in); err != nil {
+				return res, err
+			}
+			if !w.laneActive(in, 0) {
+				break
+			}
 		}
-		if w.laneActive(in, 0) {
-			res.exited = true
-		}
+		res.exited = true
 	case sass.OpBRA:
-		if err := w.uniformGuard(in); err != nil {
-			return res, err
+		if !mi.uniform {
+			if err := w.uniformGuard(in); err != nil {
+				return res, err
+			}
+			if !w.laneActive(in, 0) {
+				break
+			}
 		}
-		if w.laneActive(in, 0) {
-			w.pc += int(int32(in.Imm))
-			res.branched = true
-		}
+		w.pc += int(int32(in.Imm))
+		res.branched = true
 	case sass.OpBAR:
 		res.barrier = true
 	case sass.OpFFMA:
-		res.fpOp = true
+		if in.Rd == sass.RZ {
+			break // no architectural effect
+		}
+		if mi.uniform && !in.NegA && !in.NegB {
+			d := &w.regs[in.Rd]
+			ap, cp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs2)
+			if in.SrcMode == sass.SrcReg {
+				bp := w.srcPtr(in.Rs1)
+				for l := 0; l < warpSize; l++ {
+					a := bitsToF32(ap[l])
+					b := bitsToF32(bp[l])
+					c := bitsToF32(cp[l])
+					d[l] = f32ToBits(a*b + c)
+				}
+			} else {
+				b := bitsToF32(scalarB(in, consts))
+				for l := 0; l < warpSize; l++ {
+					a := bitsToF32(ap[l])
+					c := bitsToF32(cp[l])
+					d[l] = f32ToBits(a*b + c)
+				}
+			}
+			break
+		}
 		for l := 0; l < warpSize; l++ {
 			if !w.laneActive(in, l) {
 				continue
@@ -178,7 +252,17 @@ func (w *warp) exec(in *sass.Inst, consts []uint32) (execResult, error) {
 			w.writeReg(in.Rd, l, f32ToBits(a*b+c))
 		}
 	case sass.OpFADD:
-		res.fpOp = true
+		if in.Rd == sass.RZ {
+			break
+		}
+		if mi.uniform && !in.NegA && !in.NegB && in.SrcMode == sass.SrcReg {
+			d := &w.regs[in.Rd]
+			ap, bp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs1)
+			for l := 0; l < warpSize; l++ {
+				d[l] = f32ToBits(bitsToF32(ap[l]) + bitsToF32(bp[l]))
+			}
+			break
+		}
 		for l := 0; l < warpSize; l++ {
 			if !w.laneActive(in, l) {
 				continue
@@ -186,7 +270,17 @@ func (w *warp) exec(in *sass.Inst, consts []uint32) (execResult, error) {
 			w.writeReg(in.Rd, l, f32ToBits(w.fpA(in, l)+w.fpB(in, l, consts)))
 		}
 	case sass.OpFMUL:
-		res.fpOp = true
+		if in.Rd == sass.RZ {
+			break
+		}
+		if mi.uniform && !in.NegA && !in.NegB && in.SrcMode == sass.SrcReg {
+			d := &w.regs[in.Rd]
+			ap, bp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs1)
+			for l := 0; l < warpSize; l++ {
+				d[l] = f32ToBits(bitsToF32(ap[l]) * bitsToF32(bp[l]))
+			}
+			break
+		}
 		for l := 0; l < warpSize; l++ {
 			if !w.laneActive(in, l) {
 				continue
@@ -194,7 +288,21 @@ func (w *warp) exec(in *sass.Inst, consts []uint32) (execResult, error) {
 			w.writeReg(in.Rd, l, f32ToBits(w.fpA(in, l)*w.fpB(in, l, consts)))
 		}
 	case sass.OpMOV:
-		res.intOp = true
+		if in.Rd == sass.RZ {
+			break
+		}
+		if mi.uniform {
+			d := &w.regs[in.Rd]
+			if in.SrcMode == sass.SrcReg {
+				*d = *w.srcPtr(in.Rs1)
+			} else {
+				v := scalarB(in, consts)
+				for l := 0; l < warpSize; l++ {
+					d[l] = v
+				}
+			}
+			break
+		}
 		for l := 0; l < warpSize; l++ {
 			if !w.laneActive(in, l) {
 				continue
@@ -202,7 +310,25 @@ func (w *warp) exec(in *sass.Inst, consts []uint32) (execResult, error) {
 			w.writeReg(in.Rd, l, w.operandB(in, l, consts))
 		}
 	case sass.OpIADD3:
-		res.intOp = true
+		if in.Rd == sass.RZ {
+			break
+		}
+		if mi.uniform {
+			d := &w.regs[in.Rd]
+			ap, cp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs2)
+			if in.SrcMode == sass.SrcReg {
+				bp := w.srcPtr(in.Rs1)
+				for l := 0; l < warpSize; l++ {
+					d[l] = ap[l] + bp[l] + cp[l]
+				}
+			} else {
+				b := scalarB(in, consts)
+				for l := 0; l < warpSize; l++ {
+					d[l] = ap[l] + b + cp[l]
+				}
+			}
+			break
+		}
 		for l := 0; l < warpSize; l++ {
 			if !w.laneActive(in, l) {
 				continue
@@ -211,7 +337,37 @@ func (w *warp) exec(in *sass.Inst, consts []uint32) (execResult, error) {
 			w.writeReg(in.Rd, l, v)
 		}
 	case sass.OpIMAD:
-		res.intOp = true
+		if in.Rd == sass.RZ {
+			break
+		}
+		if mi.uniform {
+			d := &w.regs[in.Rd]
+			ap, cp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs2)
+			if in.SrcMode == sass.SrcReg {
+				bp := w.srcPtr(in.Rs1)
+				if in.ShRight { // IMAD.HI
+					for l := 0; l < warpSize; l++ {
+						d[l] = uint32((uint64(ap[l])*uint64(bp[l]))>>32) + cp[l]
+					}
+				} else {
+					for l := 0; l < warpSize; l++ {
+						d[l] = ap[l]*bp[l] + cp[l]
+					}
+				}
+			} else {
+				b := scalarB(in, consts)
+				if in.ShRight {
+					for l := 0; l < warpSize; l++ {
+						d[l] = uint32((uint64(ap[l])*uint64(b))>>32) + cp[l]
+					}
+				} else {
+					for l := 0; l < warpSize; l++ {
+						d[l] = ap[l]*b + cp[l]
+					}
+				}
+			}
+			break
+		}
 		for l := 0; l < warpSize; l++ {
 			if !w.laneActive(in, l) {
 				continue
@@ -227,7 +383,6 @@ func (w *warp) exec(in *sass.Inst, consts []uint32) (execResult, error) {
 			w.writeReg(in.Rd, l, v)
 		}
 	case sass.OpISETP:
-		res.intOp = true
 		for l := 0; l < warpSize; l++ {
 			if !w.laneActive(in, l) {
 				continue
@@ -257,7 +412,25 @@ func (w *warp) exec(in *sass.Inst, consts []uint32) (execResult, error) {
 			}
 		}
 	case sass.OpLOP3:
-		res.intOp = true
+		if in.Rd == sass.RZ {
+			break
+		}
+		if mi.uniform {
+			d := &w.regs[in.Rd]
+			ap, cp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs2)
+			if in.SrcMode == sass.SrcReg {
+				bp := w.srcPtr(in.Rs1)
+				for l := 0; l < warpSize; l++ {
+					d[l] = lop3(ap[l], bp[l], cp[l], in.Lut)
+				}
+			} else {
+				b := scalarB(in, consts)
+				for l := 0; l < warpSize; l++ {
+					d[l] = lop3(ap[l], b, cp[l], in.Lut)
+				}
+			}
+			break
+		}
 		for l := 0; l < warpSize; l++ {
 			if !w.laneActive(in, l) {
 				continue
@@ -268,7 +441,6 @@ func (w *warp) exec(in *sass.Inst, consts []uint32) (execResult, error) {
 			w.writeReg(in.Rd, l, lop3(a, b, c, in.Lut))
 		}
 	case sass.OpSHF:
-		res.intOp = true
 		for l := 0; l < warpSize; l++ {
 			if !w.laneActive(in, l) {
 				continue
@@ -284,7 +456,6 @@ func (w *warp) exec(in *sass.Inst, consts []uint32) (execResult, error) {
 			w.writeReg(in.Rd, l, v)
 		}
 	case sass.OpSEL:
-		res.intOp = true
 		for l := 0; l < warpSize; l++ {
 			if !w.laneActive(in, l) {
 				continue
@@ -297,7 +468,6 @@ func (w *warp) exec(in *sass.Inst, consts []uint32) (execResult, error) {
 			}
 		}
 	case sass.OpS2R:
-		res.intOp = true
 		for l := 0; l < warpSize; l++ {
 			if !w.laneActive(in, l) {
 				continue
@@ -320,7 +490,6 @@ func (w *warp) exec(in *sass.Inst, consts []uint32) (execResult, error) {
 			w.writeReg(in.Rd, l, v)
 		}
 	case sass.OpP2R:
-		res.intOp = true
 		for l := 0; l < warpSize; l++ {
 			if !w.laneActive(in, l) {
 				continue
@@ -334,7 +503,6 @@ func (w *warp) exec(in *sass.Inst, consts []uint32) (execResult, error) {
 			w.writeReg(in.Rd, l, v&in.Imm)
 		}
 	case sass.OpR2P:
-		res.intOp = true
 		for l := 0; l < warpSize; l++ {
 			if !w.laneActive(in, l) {
 				continue
@@ -347,19 +515,31 @@ func (w *warp) exec(in *sass.Inst, consts []uint32) (execResult, error) {
 			}
 		}
 	case sass.OpLDG, sass.OpSTG, sass.OpLDS, sass.OpSTS:
-		req := &memRequest{
-			op:     in.Op,
-			width:  in.Width,
-			shared: in.Op == sass.OpLDS || in.Op == sass.OpSTS,
-			load:   in.Op == sass.OpLDG || in.Op == sass.OpLDS,
-		}
-		for l := 0; l < warpSize; l++ {
-			if !w.laneActive(in, l) {
-				continue
+		req := &w.memReq
+		req.op = in.Op
+		req.width = in.Width
+		req.shared = in.Op == sass.OpLDS || in.Op == sass.OpSTS
+		req.load = in.Op == sass.OpLDG || in.Op == sass.OpLDS
+		req.any = false
+		if mi.uniform {
+			ap := w.srcPtr(in.Rs0)
+			for l := 0; l < warpSize; l++ {
+				req.addrs[l] = ap[l] + in.Imm
+				req.active[l] = true
 			}
-			req.addrs[l] = w.readReg(in.Rs0, l) + in.Imm
-			req.active[l] = true
 			req.any = true
+		} else {
+			// The scratch is reused, so inactive lanes must be cleared
+			// explicitly.
+			for l := 0; l < warpSize; l++ {
+				if w.laneActive(in, l) {
+					req.addrs[l] = w.readReg(in.Rs0, l) + in.Imm
+					req.active[l] = true
+					req.any = true
+				} else {
+					req.active[l] = false
+				}
+			}
 		}
 		res.mem = req
 	default:
@@ -411,7 +591,9 @@ func lop3(a, b, c uint32, lut uint8) uint32 {
 }
 
 // sourceRegs lists the distinct live register reads of an instruction,
-// used by the register-bank-conflict model.
+// used by the register-bank-conflict model and the hazard checker. Called
+// once per instruction at program-decode time (see buildProgram), never
+// in the per-issue path.
 func sourceRegs(in *sass.Inst) []sass.Reg {
 	var out []sass.Reg
 	add := func(r sass.Reg) {
@@ -454,7 +636,8 @@ func sourceRegs(in *sass.Inst) []sass.Reg {
 	return out
 }
 
-// destRegs lists the registers an instruction writes.
+// destRegs lists the registers an instruction writes. Like sourceRegs it
+// runs only at program-decode time.
 func destRegs(in *sass.Inst) []sass.Reg {
 	switch in.Op {
 	case sass.OpLDG, sass.OpLDS:

@@ -10,11 +10,25 @@ type mem struct {
 }
 
 func (m *mem) grow(words int) {
-	if words > len(m.data) {
-		nd := make([]uint32, words)
-		copy(nd, m.data)
-		m.data = nd
+	if words <= len(m.data) {
+		return
 	}
+	if words <= cap(m.data) {
+		// Reuse spare capacity; the tail beyond the old length is still
+		// zero (stores past len reallocate through here, and shrink never
+		// happens), so extending the view preserves zero-fill semantics.
+		m.data = m.data[:words]
+		return
+	}
+	// Double on growth so the incremental Alloc pattern (one buffer at a
+	// time during problem setup) costs O(n) total copying, not O(n²).
+	newCap := 2 * cap(m.data)
+	if newCap < words {
+		newCap = words
+	}
+	nd := make([]uint32, words, newCap)
+	copy(nd, m.data)
+	m.data = nd
 }
 
 func (m *mem) load(addr uint32) uint32 {

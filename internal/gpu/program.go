@@ -1,0 +1,127 @@
+package gpu
+
+import (
+	"sync"
+
+	"repro/internal/cubin"
+	"repro/internal/sass"
+)
+
+// Instruction classes, precomputed per pc so the per-cycle issue path
+// never re-derives them from the opcode.
+const (
+	classOther uint8 = iota // NOP, EXIT, BRA, BAR
+	classFP                 // FFMA/FADD/FMUL: float pipe
+	classInt                // MOV/IADD3/IMAD/ISETP/... : ALU pipe
+	classMem                // LDG/STG/LDS/STS: MIO pipe
+)
+
+// instMeta is the per-instruction scheduling metadata the simulator
+// consults every issue cycle. It is computed once per kernel when the
+// program is decoded and shared read-only by every Sim that launches the
+// kernel, replacing the per-issue opcode switches and the per-exec
+// source/destination register recomputation (which allocated).
+type instMeta struct {
+	class uint8
+	// uniform means the guard predicate is PT and not negated: every
+	// lane executes, so per-lane laneActive checks can be skipped.
+	uniform bool
+	// isLDG marks global loads, which need an MSHR in addition to a
+	// dispatch-queue slot.
+	isLDG bool
+	// intLat is the fixed result latency for classInt instructions.
+	intLat int64
+	// srcRegs/dstRegs are the distinct live register reads/writes, used
+	// by the hazard checker and the register sizing pass.
+	srcRegs []sass.Reg
+	dstRegs []sass.Reg
+}
+
+// program is one decoded, pre-analyzed kernel: the instruction slice, the
+// per-pc metadata, and the highest register index the code touches. It is
+// immutable after construction and shared by all concurrent Sims.
+type program struct {
+	insts []sass.Inst
+	meta  []instMeta
+	// maxRegUsed is the architectural register-array size the code
+	// requires (minimum 16), regardless of the declared NumRegs.
+	maxRegUsed int
+}
+
+// progEntry is one slot of the decoded-program cache. The sync.Once gives
+// singleflight semantics: the first Launch of a kernel decodes while
+// concurrent Launches of the same kernel wait, so the pure decode work
+// runs exactly once per *cubin.Kernel process-wide (keyed like the
+// kernel-generation cache in internal/kernels, which already shares one
+// *cubin.Kernel across all callers).
+type progEntry struct {
+	once sync.Once
+	p    *program
+	err  error
+}
+
+// progCache maps *cubin.Kernel to *progEntry. Kernels are immutable by
+// contract (see the Sim concurrency notes), so identity keying is sound.
+// Entries are never evicted: the key space is bounded by the distinct
+// kernels a process generates, the same policy as kernels' gencache.
+var progCache sync.Map
+
+// decodedPrograms reports how many distinct kernels have been decoded and
+// analyzed process-wide — the observable the decode-cache tests assert on.
+func decodedPrograms() int {
+	n := 0
+	progCache.Range(func(_, _ any) bool { n++; return true })
+	return n
+}
+
+// decodeProgram returns the cached decoded program for k, building it at
+// most once per kernel.
+func decodeProgram(k *cubin.Kernel) (*program, error) {
+	v, _ := progCache.LoadOrStore(k, &progEntry{})
+	e := v.(*progEntry)
+	e.once.Do(func() { e.p, e.err = buildProgram(k) })
+	return e.p, e.err
+}
+
+func buildProgram(k *cubin.Kernel) (*program, error) {
+	insts, err := k.Decode()
+	if err != nil {
+		return nil, err
+	}
+	p := &program{
+		insts:      insts,
+		meta:       make([]instMeta, len(insts)),
+		maxRegUsed: 16,
+	}
+	for i := range insts {
+		in := &insts[i]
+		mi := &p.meta[i]
+		switch {
+		case in.Op.IsMemory():
+			mi.class = classMem
+			mi.isLDG = in.Op == sass.OpLDG
+		case isFP(in.Op):
+			mi.class = classFP
+		case isInt(in.Op):
+			mi.class = classInt
+			mi.intLat = intLatency
+			if in.Op == sass.OpS2R {
+				mi.intLat = s2rLatency
+			}
+		}
+		mi.uniform = in.Pred == sass.PT && !in.PredNeg
+		mi.srcRegs = sourceRegs(in)
+		mi.dstRegs = destRegs(in)
+		for _, r := range mi.srcRegs {
+			if int(r)+1 > p.maxRegUsed {
+				p.maxRegUsed = int(r) + 1
+			}
+		}
+		for _, r := range mi.dstRegs {
+			if int(r)+1 > p.maxRegUsed {
+				p.maxRegUsed = int(r) + 1
+			}
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,93 @@
+package gpu
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDecodeCacheSingleflight: many concurrent Sims launching the same
+// kernel must add exactly one entry to the process-wide decoded-program
+// cache, and all launches must agree on the timing result.
+func TestDecodeCacheSingleflight(t *testing.T) {
+	k := assemble(t, saxpySrc)
+	before := decodedPrograms()
+
+	const sims = 8
+	cycles := make([]int64, sims)
+	var wg sync.WaitGroup
+	for i := 0; i < sims; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := NewSim(RTX2070())
+			x := s.Alloc(4 * 128)
+			y := s.Alloc(4 * 128)
+			m, err := s.Launch(k, LaunchOpts{
+				Grid: 4, Block: 32,
+				Params: []uint32{x.Addr, y.Addr, f32ToBits(1.0), 100},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cycles[i] = m.Cycles
+		}(i)
+	}
+	wg.Wait()
+
+	if got := decodedPrograms() - before; got != 1 {
+		t.Fatalf("launching one kernel from %d Sims decoded %d programs, want 1", sims, got)
+	}
+	for i := 1; i < sims; i++ {
+		if cycles[i] != cycles[0] {
+			t.Fatalf("sim %d simulated %d cycles, sim 0 simulated %d", i, cycles[i], cycles[0])
+		}
+	}
+}
+
+// TestWarpPoolDeterminism: repeated launches on one Sim recycle warps and
+// shared-memory images from its pools; a warm pool must produce exactly
+// the cycle count and functional result of the cold first launch.
+func TestWarpPoolDeterminism(t *testing.T) {
+	k := assemble(t, reverseSrc)
+	s := NewSim(RTX2070())
+	s.HazardCheck = true
+	in := s.Alloc(4 * 32)
+	out := s.Alloc(4 * 32)
+	data := make([]float32, 32)
+	for i := range data {
+		data[i] = float32(i + 1)
+	}
+	s.WriteF32(in.Addr, data)
+
+	// Round 0 runs with a cold pool and a cold L2; later rounds recycle
+	// its warps and smem image. The L2 is warm from round 1 on (persistent
+	// per-Sim state, by design), so the determinism bar is: every warm
+	// round matches round 1 exactly, and every round computes the right
+	// answer.
+	var warm int64
+	for round := 0; round < 5; round++ {
+		s.Fill(out.Addr, 32, 0)
+		m, err := s.Launch(k, LaunchOpts{
+			Grid: 1, Block: 32,
+			Params: []uint32{in.Addr, out.Addr},
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(m.HazardViolations) != 0 {
+			t.Fatalf("round %d hazards: %v", round, m.HazardViolations)
+		}
+		if round == 1 {
+			warm = m.Cycles
+		} else if round > 1 && m.Cycles != warm {
+			t.Fatalf("round %d: %d cycles, round 1 took %d (pool reuse changed timing)", round, m.Cycles, warm)
+		}
+		got := s.ReadF32(out.Addr, 32)
+		for i := range got {
+			if got[i] != data[31-i] {
+				t.Fatalf("round %d: out[%d] = %v, want %v", round, i, got[i], data[31-i])
+			}
+		}
+	}
+}

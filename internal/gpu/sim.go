@@ -2,7 +2,7 @@ package gpu
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
 	"repro/internal/cubin"
 	"repro/internal/sass"
@@ -14,15 +14,18 @@ import (
 //
 // Concurrency contract: independent Sim instances share no mutable
 // state — every NewSim allocates its own memory image, allocator offset,
-// and L2 model, and Launch decodes the kernel into a fresh instruction
-// slice — so any number of Sims may run concurrently (the concurrent
-// benchmark runner relies on this; `go test -race ./internal/gpu` keeps
-// it honest). A single Sim is NOT safe for concurrent use: Alloc,
-// WriteF32/ReadF32, and Launch all mutate the shared memory image and L2
-// model and must be serialized by the caller. Device is a plain value
-// with read-only methods and may be copied and shared freely; the
-// launched *cubin.Kernel is only read, so one cached kernel may feed
-// many concurrent Sims.
+// warp pool, and L2 model — so any number of Sims may run concurrently
+// (the concurrent benchmark runner relies on this; `go test -race
+// ./internal/gpu` keeps it honest). Launch reads the kernel through the
+// process-wide decoded-program cache (program.go), which is itself safe
+// for concurrent use and hands every Sim the same immutable decoded
+// instruction stream. A single Sim is NOT safe for concurrent use: Alloc,
+// WriteF32/ReadF32, and Launch all mutate the shared memory image, warp
+// pool, and L2 model and must be serialized by the caller. Device is a
+// plain value with read-only methods and may be copied and shared freely;
+// the launched *cubin.Kernel is only read (and must never be mutated
+// after its first Launch — the decode cache keys on its identity), so one
+// cached kernel may feed many concurrent Sims.
 type Sim struct {
 	Dev Device
 	// HazardCheck enables the control-code validator: instructions that
@@ -36,6 +39,23 @@ type Sim struct {
 	mem      mem
 	allocOff uint32
 	l2       *l2cache
+
+	// Per-Sim recycling pools, reused across blocks and launches so the
+	// steady-state hot loop allocates nothing: retired warps (with their
+	// operand arrays) and shared-memory images return here, and the MIO
+	// queue and line-coalescing scratch buffers are handed to each SM
+	// instance in turn. Serialized by the single-Sim contract above.
+	warpPool []*warp
+	smemPool [][]uint32
+	scratch  smScratch
+}
+
+// smScratch is the reusable per-SM-instance buffer set. SM instances
+// within a Launch run sequentially, so one set serves them all.
+type smScratch struct {
+	dispQ, globQ []int64
+	events       []event
+	lines        []uint32
 }
 
 // NewSim creates a simulator for the given device model.
@@ -55,6 +75,49 @@ func NewSim(dev Device) *Sim {
 	// SMs read the same filter tiles, so one SM's view of the cache sees
 	// the full capacity (simulated SM instances share this model).
 	return &Sim{Dev: dev, allocOff: 256, l2: newL2(dev.L2SizeBytes)}
+}
+
+// getWarp returns a zeroed warp with an operand array of nregs registers,
+// recycling a retired one when possible.
+func (s *Sim) getWarp(nregs int) *warp {
+	if n := len(s.warpPool); n > 0 {
+		w := s.warpPool[n-1]
+		s.warpPool = s.warpPool[:n-1]
+		regs, ready, bar, barRegs := w.regs, w.regReadyAt, w.regBar, w.barRegs
+		*w = warp{}
+		if cap(regs) >= nregs {
+			regs = regs[:nregs]
+			for i := range regs {
+				regs[i] = [warpSize]uint32{}
+			}
+		} else {
+			regs = make([][warpSize]uint32, nregs)
+		}
+		w.regs = regs
+		w.regReadyAt, w.regBar = ready, bar
+		for i := range barRegs {
+			barRegs[i] = barRegs[i][:0]
+		}
+		w.barRegs = barRegs
+		return w
+	}
+	return &warp{regs: make([][warpSize]uint32, nregs)}
+}
+
+// getSmem returns a zeroed shared-memory image of the given word count.
+func (s *Sim) getSmem(words int) []uint32 {
+	if n := len(s.smemPool); n > 0 {
+		sm := s.smemPool[n-1]
+		s.smemPool = s.smemPool[:n-1]
+		if cap(sm) >= words {
+			sm = sm[:words]
+			for i := range sm {
+				sm[i] = 0
+			}
+			return sm
+		}
+	}
+	return make([]uint32, words)
 }
 
 // LaunchOpts configures one kernel launch.
@@ -176,7 +239,7 @@ func (s *Sim) Launch(k *cubin.Kernel, opts LaunchOpts) (*Metrics, error) {
 	if opts.Block <= 0 || opts.Block%32 != 0 {
 		return nil, fmt.Errorf("gpu: block size %d is not a positive multiple of 32", opts.Block)
 	}
-	insts, err := k.Decode()
+	prog, err := decodeProgram(k)
 	if err != nil {
 		return nil, err
 	}
@@ -249,11 +312,12 @@ func (s *Sim) Launch(k *cubin.Kernel, opts LaunchOpts) (*Metrics, error) {
 				blocks = append(blocks, b%gridBlocks)
 			}
 		}
-		inst := newSMSim(s, k, insts, consts, occ, blocks, opts.Grid, opts.GridY)
+		inst := newSMSim(s, k, prog, consts, occ, blocks, opts.Grid, opts.GridY)
 		if err := inst.run(); err != nil {
 			return nil, fmt.Errorf("gpu: SM %d: %w", smi, err)
 		}
 		inst.fold(total)
+		inst.release()
 	}
 	return total, nil
 }
@@ -262,7 +326,6 @@ func (s *Sim) Launch(k *cubin.Kernel, opts LaunchOpts) (*Metrics, error) {
 const (
 	evBarRelease = iota
 	evBlockLoad
-	evBarSyncDone
 )
 
 type event struct {
@@ -270,7 +333,6 @@ type event struct {
 	kind int
 	warp *warp
 	bar  int8
-	blk  int
 }
 
 type scheduler struct {
@@ -287,17 +349,21 @@ type smSim struct {
 	dev    *Device
 	kern   *cubin.Kernel
 	insts  []sass.Inst
+	meta   []instMeta
+	prog   *program
 	consts []uint32
 
 	occ          Occupancy
 	gridX, gridY int
-	maxRegUsed   int
 	pending      []int // block indices not yet resident
 	resident     int
 	now          int64
 	scheds       []*scheduler
 	warpSeq      int
-	events       []event // unsorted small queue
+	// events is an unsorted small queue; nextEventAt caches the earliest
+	// entry so the per-cycle fireEvents check is a single compare.
+	events      []event
+	nextEventAt int64
 	// MIO front end. All memory instructions pass through one shared
 	// dispatch queue (dispQ, slots held until the owning pipe starts
 	// servicing) — a burst of LDGs therefore delays LDS dispatch, the
@@ -309,25 +375,39 @@ type smSim struct {
 	dramFree     int64
 	l2           *l2cache
 	bwCycles     float64 // DRAM transfer cycles per 128-byte line, per-SM share
+	lineScratch  []uint32
 
 	m Metrics
 }
 
-func newSMSim(s *Sim, k *cubin.Kernel, insts []sass.Inst, consts []uint32, occ Occupancy, blocks []int, gx, gy int) *smSim {
+func newSMSim(s *Sim, k *cubin.Kernel, prog *program, consts []uint32, occ Occupancy, blocks []int, gx, gy int) *smSim {
 	dev := &s.Dev
 	perLine := float64(l2Line) / (dev.DRAMBandwidthGBs / dev.ClockGHz / float64(dev.SMs))
 	sm := &smSim{
-		sim:      s,
-		dev:      dev,
-		kern:     k,
-		insts:    insts,
-		consts:   consts,
-		occ:      occ,
-		gridX:    gx,
-		gridY:    gy,
-		pending:  blocks,
-		l2:       s.l2,
-		bwCycles: perLine,
+		sim:         s,
+		dev:         dev,
+		kern:        k,
+		insts:       prog.insts,
+		meta:        prog.meta,
+		prog:        prog,
+		consts:      consts,
+		occ:         occ,
+		gridX:       gx,
+		gridY:       gy,
+		pending:     blocks,
+		nextEventAt: math.MaxInt64,
+		dispQ:       s.scratch.dispQ[:0],
+		globQ:       s.scratch.globQ[:0],
+		events:      s.scratch.events[:0],
+		lineScratch: s.scratch.lines[:0],
+		l2:          s.l2,
+		bwCycles:    perLine,
+	}
+	if sm.dispQ == nil {
+		sm.dispQ = make([]int64, 0, dev.MIOQueueDepth+1)
+	}
+	if sm.globQ == nil {
+		sm.globQ = make([]int64, 0, dev.MSHRs+1)
 	}
 	sm.scheds = make([]*scheduler, dev.SchedulersPerSM)
 	for i := range sm.scheds {
@@ -337,6 +417,17 @@ func newSMSim(s *Sim, k *cubin.Kernel, insts []sass.Inst, consts []uint32, occ O
 		sm.loadBlock()
 	}
 	return sm
+}
+
+// release hands the instance's scratch buffers back to the Sim for the
+// next SM instance or launch.
+func (sm *smSim) release() {
+	sm.sim.scratch = smScratch{
+		dispQ:  sm.dispQ[:0],
+		globQ:  sm.globQ[:0],
+		events: sm.events[:0],
+		lines:  sm.lineScratch[:0],
+	}
 }
 
 // loadBlock makes the next pending block resident and spreads its warps
@@ -354,47 +445,41 @@ func (sm *smSim) loadBlock() {
 			(blkIdx / sm.gridX) % sm.gridY,
 			blkIdx / (sm.gridX * sm.gridY),
 		},
-		smem: make([]uint32, (sm.kern.SmemBytes+3)/4),
+		smem: sm.sim.getSmem((sm.kern.SmemBytes + 3) / 4),
 	}
 	// Size the architectural register array from the code itself: the
 	// declared NumRegs governs occupancy, but a kernel that touches a
 	// register above its declaration (modelling a baseline whose real
-	// implementation would spill or re-derive) must still execute.
+	// implementation would spill or re-derive) must still execute. The
+	// code scan is done once per kernel by the decoded-program cache.
 	regs := sm.kern.NumRegs
-	if sm.maxRegUsed == 0 {
-		sm.maxRegUsed = 16
-		for i := range sm.insts {
-			in := &sm.insts[i]
-			for _, r := range sourceRegs(in) {
-				if int(r)+1 > sm.maxRegUsed {
-					sm.maxRegUsed = int(r) + 1
-				}
-			}
-			for _, r := range destRegs(in) {
-				if int(r)+1 > sm.maxRegUsed {
-					sm.maxRegUsed = int(r) + 1
-				}
-			}
-		}
-	}
-	if sm.maxRegUsed > regs {
-		regs = sm.maxRegUsed
+	if sm.prog.maxRegUsed > regs {
+		regs = sm.prog.maxRegUsed
 	}
 	if regs < 16 {
 		regs = 16
 	}
+	hazard := sm.sim.HazardCheck
 	for wi := 0; wi < nw; wi++ {
-		w := &warp{
-			idx:        wi,
-			global:     sm.warpSeq,
-			block:      blk,
-			regs:       make([][warpSize]uint32, regs+4),
-			nextIssue:  sm.now,
-			regReadyAt: make([]int64, 256),
-			regBar:     make([]int8, 256),
-		}
-		for i := range w.regBar {
-			w.regBar[i] = -1
+		w := sm.sim.getWarp(regs + 4)
+		w.idx = wi
+		w.global = sm.warpSeq
+		w.block = blk
+		w.nextIssue = sm.now
+		if hazard {
+			// The hazard checker's scoreboard is dense per-register
+			// state; allocated only when the checker is on.
+			if w.regReadyAt == nil {
+				w.regReadyAt = make([]int64, 256)
+				w.regBar = make([]int8, 256)
+			} else {
+				for i := range w.regReadyAt {
+					w.regReadyAt[i] = 0
+				}
+			}
+			for i := range w.regBar {
+				w.regBar[i] = -1
+			}
 		}
 		blk.warps = append(blk.warps, w)
 		sched := sm.scheds[sm.warpSeq%len(sm.scheds)]
@@ -437,7 +522,9 @@ func (sm *smSim) fold(t *Metrics) {
 func (sm *smSim) run() error {
 	idleGuard := 0
 	for sm.resident > 0 || len(sm.pending) > 0 {
-		sm.fireEvents()
+		if sm.nextEventAt <= sm.now {
+			sm.fireEvents()
+		}
 		issued := false
 		for _, sc := range sm.scheds {
 			ok, err := sm.tryIssue(sc)
@@ -479,8 +566,8 @@ func (sm *smSim) nextWake() (int64, bool) {
 			best = t
 		}
 	}
-	for _, e := range sm.events {
-		upd(e.at)
+	if sm.nextEventAt != math.MaxInt64 {
+		upd(sm.nextEventAt)
 	}
 	for _, sc := range sm.scheds {
 		upd(sc.busyUntil)
@@ -504,11 +591,23 @@ func (sm *smSim) nextWake() (int64, bool) {
 	return best, true
 }
 
+// addEvent enqueues a future event, keeping the earliest-entry cache.
+func (sm *smSim) addEvent(e event) {
+	sm.events = append(sm.events, e)
+	if e.at < sm.nextEventAt {
+		sm.nextEventAt = e.at
+	}
+}
+
 func (sm *smSim) fireEvents() {
 	kept := sm.events[:0]
+	next := int64(math.MaxInt64)
 	for _, e := range sm.events {
 		if e.at > sm.now {
 			kept = append(kept, e)
+			if e.at < next {
+				next = e.at
+			}
 			continue
 		}
 		switch e.kind {
@@ -526,37 +625,42 @@ func (sm *smSim) fireEvents() {
 			if len(sm.pending) > 0 {
 				sm.loadBlock()
 			}
-		case evBarSyncDone:
-			// handled inline at arrival; nothing to do
 		}
 	}
 	sm.events = kept
+	sm.nextEventAt = next
 }
 
-// mioSlotFree prunes released queue entries and reports availability:
-// every memory instruction needs a shared dispatch slot, and global loads
-// additionally need a free MSHR.
-func (sm *smSim) mioSlotFree(op sass.Opcode) bool {
-	prune := func(q *[]int64) {
-		kept := (*q)[:0]
-		for _, t := range *q {
-			if t > sm.now {
-				kept = append(kept, t)
-			}
-		}
-		*q = kept
-	}
-	prune(&sm.dispQ)
+// mioSlotFree reports MIO availability: every memory instruction needs a
+// shared dispatch slot, and global loads additionally need a free MSHR.
+// Released queue entries are pruned lazily — only when a queue looks full
+// — which keeps the common eligibility check O(1).
+func (sm *smSim) mioSlotFree(isLDG bool) bool {
 	if len(sm.dispQ) >= sm.dev.MIOQueueDepth {
-		return false
-	}
-	if op == sass.OpLDG {
-		prune(&sm.globQ)
-		if len(sm.globQ) >= sm.dev.MSHRs {
+		pruneQueue(&sm.dispQ, sm.now)
+		if len(sm.dispQ) >= sm.dev.MIOQueueDepth {
 			return false
 		}
 	}
+	if isLDG {
+		if len(sm.globQ) >= sm.dev.MSHRs {
+			pruneQueue(&sm.globQ, sm.now)
+			if len(sm.globQ) >= sm.dev.MSHRs {
+				return false
+			}
+		}
+	}
 	return true
+}
+
+func pruneQueue(q *[]int64, now int64) {
+	kept := (*q)[:0]
+	for _, t := range *q {
+		if t > now {
+			kept = append(kept, t)
+		}
+	}
+	*q = kept
 }
 
 // eligible reports whether warp w can issue its next instruction now;
@@ -577,19 +681,19 @@ func (sm *smSim) eligible(sc *scheduler, w *warp) (ok bool, blocked int) {
 			}
 		}
 	}
-	switch {
-	case in.Op.IsMemory():
-		if !sm.mioSlotFree(in.Op) {
-			if in.Op == sass.OpLDG {
+	switch sm.meta[w.pc].class {
+	case classMem:
+		if !sm.mioSlotFree(sm.meta[w.pc].isLDG) {
+			if sm.meta[w.pc].isLDG {
 				return false, 2
 			}
 			return false, 1
 		}
-	case isFP(in.Op):
+	case classFP:
 		if sc.fpBusyUntil > sm.now {
 			return false, 0
 		}
-	case isInt(in.Op):
+	case classInt:
 		if sc.intBusyUntil > sm.now {
 			return false, 0
 		}
@@ -666,6 +770,7 @@ func (sm *smSim) tryIssue(sc *scheduler) (bool, error) {
 
 func (sm *smSim) issue(sc *scheduler, w *warp) error {
 	in := &sm.insts[w.pc]
+	mi := &sm.meta[w.pc]
 	w.pc++
 
 	switched := sc.last != nil && sc.last != w
@@ -676,14 +781,14 @@ func (sm *smSim) issue(sc *scheduler, w *warp) error {
 		w.reuseValid = false
 	}
 
-	res, err := w.exec(in, sm.consts)
+	res, err := w.exec(in, mi, sm.consts)
 	if err != nil {
 		return err
 	}
 	sm.m.Issued++
 
 	if sm.sim.HazardCheck {
-		sm.checkHazards(w, in, res.srcRegs)
+		sm.checkHazards(w, in, mi)
 	}
 
 	// A warp switch delays the effective issue by one cycle (paper
@@ -696,8 +801,8 @@ func (sm *smSim) issue(sc *scheduler, w *warp) error {
 	w.nextIssue = base + stall
 	sc.busyUntil = base + 1
 
-	switch {
-	case res.fpOp:
+	switch mi.class {
+	case classFP:
 		sm.m.FPIssued++
 		if in.Op == sass.OpFFMA {
 			sm.m.FFMAs++
@@ -709,52 +814,52 @@ func (sm *smSim) issue(sc *scheduler, w *warp) error {
 		}
 		sc.fpBusyUntil = base + dur
 		sm.m.FPPipeUseful += 2
-		sm.noteFixedWrite(w, in, fpLatency)
-	case res.intOp:
+		sm.noteFixedWrite(w, mi, fpLatency)
+	case classInt:
 		sm.m.IntIssued++
 		sc.intBusyUntil = base + 2
-		lat := int64(intLatency)
-		if in.Op == sass.OpS2R {
-			lat = s2rLatency
-		}
-		sm.noteFixedWrite(w, in, lat)
+		lat := mi.intLat
+		sm.noteFixedWrite(w, mi, lat)
 		if in.Ctrl.WriteBar >= 0 {
 			w.barPending[in.Ctrl.WriteBar]++
-			sm.events = append(sm.events, event{at: base + lat, kind: evBarRelease, warp: w, bar: in.Ctrl.WriteBar})
+			sm.addEvent(event{at: base + lat, kind: evBarRelease, warp: w, bar: in.Ctrl.WriteBar})
 		}
-	case res.mem != nil:
-		if err := sm.issueMem(w, in, res.mem, base); err != nil {
+	case classMem:
+		if err := sm.issueMem(w, in, mi, res.mem, base); err != nil {
 			return err
 		}
-	case res.barrier:
-		blk := w.block
-		w.atBar = true
-		blk.barWait++
-		if blk.barWait >= len(blk.warps)-blk.doneWarp {
-			blk.barWait = 0
-			for _, bw := range blk.warps {
-				if bw.atBar {
-					bw.atBar = false
-					if t := sm.now + barLatency; t > bw.nextIssue {
-						bw.nextIssue = t
+	default:
+		switch {
+		case res.barrier:
+			blk := w.block
+			w.atBar = true
+			blk.barWait++
+			if blk.barWait >= len(blk.warps)-blk.doneWarp {
+				blk.barWait = 0
+				for _, bw := range blk.warps {
+					if bw.atBar {
+						bw.atBar = false
+						if t := sm.now + barLatency; t > bw.nextIssue {
+							bw.nextIssue = t
+						}
 					}
 				}
 			}
-		}
-	case res.exited:
-		w.done = true
-		blk := w.block
-		blk.doneWarp++
-		if blk.doneWarp == len(blk.warps) {
-			sm.retireBlock(blk)
-		} else if blk.barWait > 0 && blk.barWait >= len(blk.warps)-blk.doneWarp {
-			// The exit may satisfy a barrier the other warps wait at.
-			blk.barWait = 0
-			for _, bw := range blk.warps {
-				if bw.atBar {
-					bw.atBar = false
-					if t := sm.now + barLatency; t > bw.nextIssue {
-						bw.nextIssue = t
+		case res.exited:
+			w.done = true
+			blk := w.block
+			blk.doneWarp++
+			if blk.doneWarp == len(blk.warps) {
+				sm.retireBlock(blk)
+			} else if blk.barWait > 0 && blk.barWait >= len(blk.warps)-blk.doneWarp {
+				// The exit may satisfy a barrier the other warps wait at.
+				blk.barWait = 0
+				for _, bw := range blk.warps {
+					if bw.atBar {
+						bw.atBar = false
+						if t := sm.now + barLatency; t > bw.nextIssue {
+							bw.nextIssue = t
+						}
 					}
 				}
 			}
@@ -765,7 +870,7 @@ func (sm *smSim) issue(sc *scheduler, w *warp) error {
 	// warp. Interleaved memory instructions leave the latch untouched;
 	// only a warp switch (above) or an ALU instruction without reuse
 	// flags invalidates it.
-	if res.fpOp || res.intOp {
+	if mi.class == classFP || mi.class == classInt {
 		if in.Ctrl.Reuse != 0 {
 			w.reuseValid = true
 			w.reuseMask = in.Ctrl.Reuse
@@ -783,6 +888,10 @@ func (sm *smSim) issue(sc *scheduler, w *warp) error {
 }
 
 // retireBlock removes a finished block and schedules a replacement.
+// Quiescent warps (no outstanding dependency-barrier events) return to
+// the Sim's pool for the next block; a warp with an event still in
+// flight is left to the garbage collector so the late release cannot
+// touch a recycled warp.
 func (sm *smSim) retireBlock(blk *blockState) {
 	sm.resident--
 	for _, sc := range sm.scheds {
@@ -797,13 +906,20 @@ func (sm *smSim) retireBlock(blk *blockState) {
 			sc.last = nil
 		}
 	}
+	sm.sim.smemPool = append(sm.sim.smemPool, blk.smem)
+	for _, w := range blk.warps {
+		if w.quiescent() {
+			w.block = nil
+			sm.sim.warpPool = append(sm.sim.warpPool, w)
+		}
+	}
 	if len(sm.pending) > 0 {
-		sm.events = append(sm.events, event{at: sm.now + blockStartGap, kind: evBlockLoad})
+		sm.addEvent(event{at: sm.now + blockStartGap, kind: evBlockLoad})
 	}
 }
 
 // issueMem models the MIO front end and performs the data movement.
-func (sm *smSim) issueMem(w *warp, in *sass.Inst, req *memRequest, base int64) error {
+func (sm *smSim) issueMem(w *warp, in *sass.Inst, mi *instMeta, req *memRequest, base int64) error {
 	sm.m.MemIssued++
 	start := base + 1
 	var serviceEnd int64
@@ -839,7 +955,7 @@ func (sm *smSim) issueMem(w *warp, in *sass.Inst, req *memRequest, base int64) e
 		// Service cost scales with the 128-byte lines touched: the
 		// L1/tag path moves one line per cycle; an uncoalesced access
 		// pays per line.
-		lines := distinctLines(req)
+		lines := sm.distinctLines(req)
 		svc := int64(len(lines))
 		if svc < int64(sm.dev.LDGServiceCycles) {
 			svc = int64(sm.dev.LDGServiceCycles)
@@ -878,9 +994,9 @@ func (sm *smSim) issueMem(w *warp, in *sass.Inst, req *memRequest, base int64) e
 
 	if in.Ctrl.WriteBar >= 0 {
 		w.barPending[in.Ctrl.WriteBar]++
-		sm.events = append(sm.events, event{at: dataAt, kind: evBarRelease, warp: w, bar: in.Ctrl.WriteBar})
+		sm.addEvent(event{at: dataAt, kind: evBarRelease, warp: w, bar: in.Ctrl.WriteBar})
 		if sm.sim.HazardCheck && req.load {
-			for _, r := range destRegs(in) {
+			for _, r := range mi.dstRegs {
 				w.regBar[r] = in.Ctrl.WriteBar
 				w.barRegs[in.Ctrl.WriteBar] = append(w.barRegs[in.Ctrl.WriteBar], r)
 			}
@@ -890,14 +1006,16 @@ func (sm *smSim) issueMem(w *warp, in *sass.Inst, req *memRequest, base int64) e
 	}
 	if in.Ctrl.ReadBar >= 0 {
 		w.barPending[in.Ctrl.ReadBar]++
-		sm.events = append(sm.events, event{at: serviceEnd, kind: evBarRelease, warp: w, bar: in.Ctrl.ReadBar})
+		sm.addEvent(event{at: serviceEnd, kind: evBarRelease, warp: w, bar: in.Ctrl.ReadBar})
 	}
 	return nil
 }
 
-// distinctLines lists the 128-byte line indices a global access touches.
-func distinctLines(req *memRequest) []uint32 {
-	var lines []uint32
+// distinctLines lists the 128-byte line indices a global access touches,
+// in ascending order. The returned slice aliases the SM's scratch buffer
+// and is valid until the next call.
+func (sm *smSim) distinctLines(req *memRequest) []uint32 {
+	lines := sm.lineScratch[:0]
 	for l := 0; l < warpSize; l++ {
 		if !req.active[l] {
 			continue
@@ -916,7 +1034,19 @@ func distinctLines(req *memRequest) []uint32 {
 			}
 		}
 	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	// Insertion sort: the slice is small (usually a handful of lines)
+	// and values are distinct, so this matches sort.Slice without the
+	// interface allocation.
+	for i := 1; i < len(lines); i++ {
+		v := lines[i]
+		j := i - 1
+		for j >= 0 && lines[j] > v {
+			lines[j+1] = lines[j]
+			j--
+		}
+		lines[j+1] = v
+	}
+	sm.lineScratch = lines
 	return lines
 }
 
@@ -980,7 +1110,8 @@ func (sm *smSim) regBankConflict(w *warp, in *sass.Inst) bool {
 	if in.SrcMode == sass.SrcReg {
 		slots[1] = in.Rs1
 	}
-	var live []sass.Reg
+	var live [3]sass.Reg
+	nLive := 0
 	for s, r := range slots {
 		if r == sass.RZ {
 			continue
@@ -989,21 +1120,22 @@ func (sm *smSim) regBankConflict(w *warp, in *sass.Inst) bool {
 			continue // served from the operand reuse cache
 		}
 		dup := false
-		for _, e := range live {
+		for _, e := range live[:nLive] {
 			if e == r {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			live = append(live, r)
+			live[nLive] = r
+			nLive++
 		}
 	}
-	if len(live) < 3 {
+	if nLive < 3 {
 		return false
 	}
 	parity := live[0] & 1
-	for _, r := range live[1:] {
+	for _, r := range live[1:nLive] {
 		if r&1 != parity {
 			return false
 		}
@@ -1012,17 +1144,17 @@ func (sm *smSim) regBankConflict(w *warp, in *sass.Inst) bool {
 }
 
 // noteFixedWrite records result latency for the hazard checker.
-func (sm *smSim) noteFixedWrite(w *warp, in *sass.Inst, latency int64) {
+func (sm *smSim) noteFixedWrite(w *warp, mi *instMeta, latency int64) {
 	if !sm.sim.HazardCheck {
 		return
 	}
-	for _, r := range destRegs(in) {
+	for _, r := range mi.dstRegs {
 		w.regReadyAt[r] = sm.now + latency
 	}
 }
 
 // checkHazards flags reads of registers whose producer has not completed.
-func (sm *smSim) checkHazards(w *warp, in *sass.Inst, srcs []sass.Reg) {
+func (sm *smSim) checkHazards(w *warp, in *sass.Inst, mi *instMeta) {
 	check := func(r sass.Reg, kind string) {
 		if r == sass.RZ {
 			return
@@ -1035,10 +1167,10 @@ func (sm *smSim) checkHazards(w *warp, in *sass.Inst, srcs []sass.Reg) {
 			sm.violation(w, in, fmt.Sprintf("read of %s %d cycles early (stall too small)", r, w.regReadyAt[r]-sm.now))
 		}
 	}
-	for _, r := range srcs {
+	for _, r := range mi.srcRegs {
 		check(r, "read")
 	}
-	for _, r := range destRegs(in) {
+	for _, r := range mi.dstRegs {
 		check(r, "overwrite")
 	}
 }

@@ -28,8 +28,11 @@ func smemService(req *memRequest) (cycles, conflictCycles int) {
 	}
 	wordsPerAccess := req.width.Regs()
 	for start := 0; start < warpSize; start += lanesPerPhase {
-		// Distinct word-aligned access addresses in this phase.
-		var accesses []uint32
+		// Distinct word-aligned access addresses in this phase. At most
+		// one per lane, so a fixed array avoids allocating in the issue
+		// path.
+		var accessBuf [warpSize]uint32
+		accesses := accessBuf[:0]
 		anyActive := false
 		for l := start; l < start+lanesPerPhase; l++ {
 			if !req.active[l] {

@@ -1,0 +1,321 @@
+// Package perf is the repository's performance-regression harness.
+//
+// It defines the benchmark suite covering the hot paths every experiment
+// funnels through (simulator inner loop, assembler, kernel generation,
+// CPU Winograd), a JSON report format (BENCH_sim.json at the repository
+// root), and a comparison gate that fails when the current tree regresses
+// against the committed baseline.
+//
+// Three entry points, all in this package's tests:
+//
+//	go test -bench=. ./internal/perf            # run the suite interactively
+//	go test ./internal/perf -benchjson ../../BENCH_sim.json   # refresh baseline
+//	go test ./internal/perf -run TestPerfDiff -perfdiff ../../BENCH_sim.json
+//
+// Cross-machine comparability: absolute ns/op is machine-dependent, so
+// every report embeds a calibration result (a fixed pure-float spin) and
+// the gate scales the baseline's timings by the calibration ratio before
+// comparing. Allocation counts are deterministic and compared without
+// scaling — they are the tripwire that catches "accidentally reintroduced
+// an allocation into the issue path" even on noisy CI machines.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+	"repro/internal/turingas"
+	"repro/internal/winograd"
+)
+
+// CalibrationName is the fixed-work benchmark used to normalize timings
+// across machines.
+const CalibrationName = "calibrate/fpspin"
+
+// Benchmark is one named target of the suite.
+type Benchmark struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// perfProblem is the reduced layer the simulator targets use: big enough
+// to reach the software-pipelined steady state, small enough that one
+// sample stays in the tens of milliseconds.
+var perfProblem = kernels.Problem{C: 64, K: 64, N: 32, H: 8, W: 8}
+
+// Benchmarks returns the suite. Each target is usable both under
+// `go test -bench` (see perf_test.go) and programmatically via Collect.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{CalibrationName, benchCalibrate},
+		{"sim/mainloop", benchSimMainLoop},
+		{"sim/fullconv", benchSimFullConv},
+		{"turingas/assemble", benchAssemble},
+		{"kernels/source", benchKernelSource},
+		{"winograd/conv2d", benchWinogradConv2D},
+	}
+}
+
+// benchCalibrate runs a fixed amount of scalar float work. Its ns/op
+// measures the machine, not the repository, and anchors cross-machine
+// comparisons.
+func benchCalibrate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x, y := float32(1.0), float32(0.0)
+		for j := 0; j < 5_000_000; j++ {
+			y = x*1.0000001 + y
+			x = y*0.9999999 + x
+		}
+		if x == 0 { // keep the loop live
+			b.Fatal("calibration underflow")
+		}
+	}
+}
+
+// benchSimMainLoop measures the simulator's per-instruction hot path on
+// the Winograd main loop (one hot block on one SM — the configuration of
+// the paper's scheduling studies). It reports simulated warp instructions
+// and cycles per wall second.
+func benchSimMainLoop(b *testing.B) {
+	b.ReportAllocs()
+	var instrs, cycles float64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := kernels.RunConvSampled(gpu.RTX2070(), kernels.Ours(), perfProblem, 1, true, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += float64(res.Main.Issued)
+		cycles += float64(res.Main.Cycles)
+	}
+	secs := time.Since(start).Seconds()
+	if secs > 0 {
+		b.ReportMetric(instrs/secs, "warpinstrs/s")
+		b.ReportMetric(cycles/secs, "simcycles/s")
+	}
+}
+
+// benchSimFullConv measures a full functional convolution (filter
+// transform + main kernel over the whole grid, output read back), the
+// path the differential tests and Table 5 correctness checks use.
+func benchSimFullConv(b *testing.B) {
+	p := perfProblem
+	in := tensor.NewImage(tensor.CHWN, tensor.Shape4{N: p.N, C: p.C, H: p.H, W: p.W})
+	in.FillRandom(1)
+	flt := tensor.NewFilter(tensor.CRSK, tensor.FilterShape{K: p.K, C: p.C, R: 3, S: 3})
+	flt.FillRandom(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kernels.RunConv(gpu.RTX2070(), kernels.Ours(), p, in, flt, 0, false, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchAssemble measures the assembler on a generated main-kernel source
+// (bypassing the generation cache so every iteration does real work).
+func benchAssemble(b *testing.B) {
+	src, err := kernels.Source(kernels.Ours(), perfProblem, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := turingas.AssembleKernel(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchKernelSource measures kernel-source generation (scheduling,
+// register allocation, control-code assignment — everything before the
+// assembler).
+func benchKernelSource(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := kernels.Source(kernels.Ours(), perfProblem, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWinogradConv2D measures the CPU Winograd library (the reference
+// the simulator results are validated against).
+func benchWinogradConv2D(b *testing.B) {
+	in := tensor.NewImage(tensor.NCHW, tensor.Shape4{N: 4, C: 32, H: 14, W: 14})
+	in.FillRandom(1)
+	flt := tensor.NewFilter(tensor.KCRS, tensor.FilterShape{K: 32, C: 32, R: 3, S: 3})
+	flt.FillRandom(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := winograd.Conv2D(in, flt, 1, winograd.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the BENCH_sim.json schema.
+type Report struct {
+	Schema    string `json:"schema"` // "bench_sim/v1"
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// QuickSweepSeconds is the wall time of `winograd-bench -quick all`
+	// run in-process on one worker. Informational: the gate compares
+	// calibrated ns/op and allocation counts, not wall time.
+	QuickSweepSeconds float64  `json:"quick_sweep_seconds"`
+	Results           []Result `json:"results"`
+}
+
+// Collect runs the suite via testing.Benchmark and, when quickSweep is
+// set, times the full quick experiment sweep in-process.
+func Collect(quickSweep bool) (*Report, error) {
+	r := &Report{
+		Schema:    "bench_sim/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	for _, bm := range Benchmarks() {
+		br := testing.Benchmark(bm.F)
+		if br.N == 0 {
+			return nil, fmt.Errorf("perf: benchmark %s did not run", bm.Name)
+		}
+		res := Result{
+			Name:        bm.Name,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		}
+		if len(br.Extra) > 0 {
+			res.Extra = make(map[string]float64, len(br.Extra))
+			for k, v := range br.Extra {
+				res.Extra[k] = v
+			}
+		}
+		r.Results = append(r.Results, res)
+	}
+	sort.Slice(r.Results, func(i, j int) bool { return r.Results[i].Name < r.Results[j].Name })
+	if quickSweep {
+		secs, err := timeQuickSweep()
+		if err != nil {
+			return nil, err
+		}
+		r.QuickSweepSeconds = secs
+	}
+	return r, nil
+}
+
+// timeQuickSweep runs every experiment in quick mode on one worker and
+// returns the wall seconds — the number the tentpole's speedup target is
+// stated against.
+func timeQuickSweep() (float64, error) {
+	ctx := bench.NewCtx()
+	ctx.Waves = 4
+	ctx.Quick = true
+	runner := &bench.Runner{Ctx: ctx, Workers: 1}
+	start := time.Now()
+	if _, _, err := runner.Run(bench.All()); err != nil {
+		return 0, fmt.Errorf("perf: quick sweep: %w", err)
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads a committed baseline.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if r.Schema != "bench_sim/v1" {
+		return nil, fmt.Errorf("perf: %s: unknown schema %q", path, r.Schema)
+	}
+	return &r, nil
+}
+
+func (r *Report) find(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// Compare gates cur against base and returns one message per regression
+// (empty means pass).
+//
+//   - Timings: cur ns/op may exceed the baseline's by at most timeTol
+//     (fractional, e.g. 0.10 = 10%) after the baseline is rescaled by the
+//     calibration ratio of the two reports.
+//   - Allocations: allocs/op may exceed the baseline by at most allocTol
+//     plus an absolute slack of 2 (runtime-internal noise on tiny counts).
+//   - A benchmark present in the baseline but missing from cur is a
+//     failure; new benchmarks in cur are ignored (they gate once they are
+//     committed to the baseline).
+func Compare(base, cur *Report, timeTol, allocTol float64) []string {
+	var msgs []string
+	scale := 1.0
+	bc, cc := base.find(CalibrationName), cur.find(CalibrationName)
+	if bc != nil && cc != nil && bc.NsPerOp > 0 {
+		scale = cc.NsPerOp / bc.NsPerOp
+	}
+	for i := range base.Results {
+		b := &base.Results[i]
+		if b.Name == CalibrationName {
+			continue
+		}
+		c := cur.find(b.Name)
+		if c == nil {
+			msgs = append(msgs, fmt.Sprintf("%s: present in baseline but not measured", b.Name))
+			continue
+		}
+		if limit := b.NsPerOp * scale * (1 + timeTol); c.NsPerOp > limit {
+			msgs = append(msgs, fmt.Sprintf("%s: %.0f ns/op exceeds calibrated baseline %.0f ns/op by more than %.0f%% (machine scale %.2fx)",
+				b.Name, c.NsPerOp, b.NsPerOp*scale, timeTol*100, scale))
+		}
+		allocLimit := float64(b.AllocsPerOp)*(1+allocTol) + 2
+		if float64(c.AllocsPerOp) > allocLimit {
+			msgs = append(msgs, fmt.Sprintf("%s: %d allocs/op exceeds baseline %d by more than %.0f%%+2",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp, allocTol*100))
+		}
+	}
+	return msgs
+}
