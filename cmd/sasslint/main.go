@@ -1,0 +1,162 @@
+// sasslint statically verifies SASS kernels against the scheduling
+// contract the paper's generator encodes: control-code ranges, stall
+// and dependency-barrier hazard coverage, register bank conflicts and
+// reuse-flag validity, shared-memory bank conflicts, and resource
+// ceilings (internal/sasscheck). It runs between the assembler and the
+// simulator: anything it reports, the simulator's dynamic hazard
+// checker could observe on some schedule.
+//
+// Usage:
+//
+//	sasslint file.sass ...               lint assembled source files
+//	sasslint -gen [-bk 64] [-yield 0] [-ldg 8] [-sts 6] [-mainloop]
+//	         [-odd] [-ftf] [-gemm]      lint generated kernel configs
+//	sasslint -rules                      list the rule catalogue
+//
+// With -gen and no -ftf/-gemm, the main convolution kernel for the
+// given scheduling knobs is generated, linted, and its shared-memory
+// access patterns verified against the 32-bank model. Exit status: 0
+// clean, 1 diagnostics reported, 2 usage or assembly failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/kernels"
+	"repro/internal/sasscheck"
+	"repro/internal/turingas"
+)
+
+func main() {
+	gen := flag.Bool("gen", false, "lint generated kernels instead of source files")
+	bk := flag.Int("bk", 64, "filter-dimension cache block (with -gen)")
+	yield := flag.Int("yield", 0, "clear yield flag every N float instructions (with -gen)")
+	ldg := flag.Int("ldg", 8, "FFMAs between LDGs (with -gen)")
+	sts := flag.Int("sts", 6, "float instructions between STSs (with -gen)")
+	noP2R := flag.Bool("nop2r", false, "recompute padding predicates instead of P2R/R2P (with -gen)")
+	mainloop := flag.Bool("mainloop", false, "main-loop-only variant (with -gen)")
+	odd := flag.Bool("odd", false, "odd-H/W problem exercising the edge-guard stores (with -gen)")
+	ftf := flag.Bool("ftf", false, "lint the filter-transform kernel (with -gen)")
+	gemm := flag.Bool("gemm", false, "lint the batched GEMM kernel (with -gen)")
+	rules := flag.Bool("rules", false, "list the rule catalogue and exit")
+	flag.Parse()
+
+	if *rules {
+		for _, r := range sasscheck.Rules() {
+			fmt.Printf("%-18s %s (%s)\n", r.ID, r.Summary, r.Paper)
+		}
+		return
+	}
+
+	total := 0
+	if *gen {
+		cfg := kernels.Config{BK: *bk, YieldEvery: *yield, LDGGap: *ldg, STSGap: *sts, UseP2R: !*noP2R}
+		total += lintGenerated(cfg, *mainloop, *odd, *ftf, *gemm)
+	}
+	for _, path := range flag.Args() {
+		total += lintFile(path)
+	}
+	if !*gen && flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sasslint [-rules] [-gen [options]] [file.sass ...]")
+		os.Exit(2)
+	}
+	if total > 0 {
+		fmt.Printf("%d diagnostics\n", total)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sasslint:", err)
+	os.Exit(2)
+}
+
+func report(name string, ds []sasscheck.Diag) int {
+	for _, d := range ds {
+		fmt.Printf("%s: %s\n", name, d)
+	}
+	return len(ds)
+}
+
+// lintFile assembles one .sass source file and checks every kernel in
+// the resulting module.
+func lintFile(path string) int {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := turingas.Assemble(string(src))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	n := 0
+	for i := range mod.Kernels {
+		k := &mod.Kernels[i]
+		ds, err := sasscheck.CheckKernel(k)
+		if err != nil {
+			fatal(err)
+		}
+		n += report(fmt.Sprintf("%s:%s", path, k.Name), ds)
+	}
+	return n
+}
+
+// lintGenerated generates the requested kernels and checks both the
+// instruction stream and (for the main kernel) the shared-memory access
+// patterns.
+func lintGenerated(cfg kernels.Config, mainloop, odd, ftf, gemm bool) int {
+	n := 0
+	if ftf {
+		for _, k := range []int{32, 64, 256} {
+			kern, err := kernels.GenerateFTF(k)
+			if err != nil {
+				fatal(err)
+			}
+			ds, err := sasscheck.CheckKernel(kern)
+			if err != nil {
+				fatal(err)
+			}
+			n += report(fmt.Sprintf("ftf(k=%d)", k), ds)
+		}
+	}
+	if gemm {
+		k, err := kernels.GenerateBatchedGEMM(cfg, kernels.GemmProblem{M: 128, N: 128, K: 64, Batch: 16})
+		if err != nil {
+			fatal(err)
+		}
+		ds, err := sasscheck.CheckKernel(k)
+		if err != nil {
+			fatal(err)
+		}
+		n += report("gemm", ds)
+	}
+	if ftf || gemm {
+		return n
+	}
+
+	p := kernels.Problem{C: 16, K: 64, N: 32, H: 4, W: 4}
+	if odd {
+		p.H, p.W = 7, 7
+	}
+	k, err := kernels.Generate(cfg, p, mainloop)
+	if err != nil {
+		fatal(err)
+	}
+	name := fmt.Sprintf("conv(bk=%d,yield=%d,ldg=%d,sts=%d,p2r=%v,mainloop=%v,odd=%v)",
+		cfg.BK, cfg.YieldEvery, cfg.LDGGap, cfg.STSGap, cfg.UseP2R, mainloop, odd)
+	ds, err := sasscheck.CheckKernel(k)
+	if err != nil {
+		fatal(err)
+	}
+	n += report(name, ds)
+
+	accs := []sasscheck.SmemAccess{}
+	for _, sp := range kernels.SmemPatterns(cfg) {
+		accs = append(accs, sasscheck.SmemAccess{Desc: sp.Desc, Width: sp.Width,
+			Addrs: sp.Addrs, Active: sp.Active, AllowConflicts: sp.AllowConflicts})
+	}
+	n += report(name+" smem", sasscheck.CheckSmem(accs))
+	return n
+}

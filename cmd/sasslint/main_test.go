@@ -1,0 +1,77 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/sasscheck"
+	"repro/internal/turingas"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/broken.golden")
+
+// TestBrokenGolden pins the diagnostic set for the committed
+// deliberately-broken kernel: every hazard class in testdata/broken.sass
+// must be reported, with the exact rule, pc, severity, and message.
+func TestBrokenGolden(t *testing.T) {
+	src, err := os.ReadFile("testdata/broken.sass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := turingas.Assemble(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for i := range mod.Kernels {
+		k := &mod.Kernels[i]
+		ds, err := sasscheck.CheckKernel(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range ds {
+			fmt.Fprintf(&b, "%s: %s\n", k.Name, d)
+		}
+	}
+	got := b.String()
+	if *update {
+		if err := os.WriteFile("testdata/broken.golden", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile("testdata/broken.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics changed (run with -update to accept):\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	// The demo must keep covering one instance of each advertised class.
+	for _, rule := range []string{"stall-raw", "load-no-writebar", "bar-raw", "bar-war",
+		"bar-unreleased", "wait-never-set", "reuse-stale", "ffma-bank", "vec-align", "mem-align"} {
+		if !strings.Contains(got, " "+rule+": ") {
+			t.Errorf("broken.sass no longer trips %s", rule)
+		}
+	}
+}
+
+// TestLintGeneratedClean drives the CLI's -gen path for the two
+// flagship configs: zero diagnostics.
+func TestLintGeneratedClean(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		n    int
+	}{
+		{"ours", lintGenerated(kernels.Ours(), false, false, false, false)},
+		{"ftf", lintGenerated(kernels.Ours(), false, false, true, false)},
+		{"gemm", lintGenerated(kernels.Ours(), false, false, false, true)},
+	} {
+		if c.n != 0 {
+			t.Errorf("%s: %d diagnostics from clean generated kernels", c.name, c.n)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package gpu
+
+import "repro/internal/sass"
+
+// This file is the simulator's static-analysis surface: the per-opcode
+// scheduling facts the issue path consults, exported so internal/sasscheck
+// verifies instruction streams against the exact tables the machine model
+// executes, rather than a re-derived copy that could drift.
+
+// ResultLatency returns the fixed result latency in cycles for op: the
+// number of cycles after issue before the destination register may be
+// read (paper Table 2 / Section 5.1). Variable-latency operations
+// (memory, BAR) and operations that write no register return 0 — their
+// completion is signalled through dependency barriers instead.
+func ResultLatency(op sass.Opcode) int {
+	switch {
+	case isFP(op):
+		return fpLatency
+	case op == sass.OpS2R:
+		return s2rLatency
+	case isInt(op):
+		return intLatency
+	}
+	return 0
+}
+
+// IsFPOp reports whether op executes on the FP pipe (FFMA/FADD/FMUL),
+// the pipe subject to the Section 6.1 register-bank and reuse-cache
+// rules.
+func IsFPOp(op sass.Opcode) bool { return isFP(op) }
+
+// IsIntOp reports whether op executes on the integer/ALU pipe (fixed
+// latency, results optionally signalled via a write barrier, as S2R is).
+func IsIntOp(op sass.Opcode) bool { return isInt(op) }
+
+// BarSyncCycles is the minimum number of cycles that elapse between a
+// warp issuing BAR.SYNC and its next instruction: the block-wide release
+// adds barLatency on top of the arrival of the last warp.
+func BarSyncCycles() int { return barLatency }
+
+// SourceRegs returns the distinct live register reads of in — the same
+// set the hazard checker and register sizing pass use.
+func SourceRegs(in *sass.Inst) []sass.Reg { return sourceRegs(in) }
+
+// DestRegs returns the distinct register writes of in, expanding wide
+// loads to their full destination vector.
+func DestRegs(in *sass.Inst) []sass.Reg { return destRegs(in) }
+
+// SmemAccessCost prices one warp-level shared-memory access under the
+// banked phase model (32 banks x 4 bytes, phases of 8/16/32 lanes for
+// 128/64/32-bit accesses, per-word merging): total service cycles and
+// how many of them are bank-conflict overhead. It is the model under
+// which the paper's Figure 3 and Figure 5 layouts are conflict-free;
+// exported so the static bank-conflict predictor shares it bit-for-bit
+// with the simulator's MIO path.
+func SmemAccessCost(width sass.MemWidth, addrs *[warpSize]uint32, active *[warpSize]bool) (cycles, conflictCycles int) {
+	req := memRequest{width: width, addrs: *addrs, active: *active}
+	return smemService(&req)
+}

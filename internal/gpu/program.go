@@ -104,10 +104,7 @@ func buildProgram(k *cubin.Kernel) (*program, error) {
 			mi.class = classFP
 		case isInt(in.Op):
 			mi.class = classInt
-			mi.intLat = intLatency
-			if in.Op == sass.OpS2R {
-				mi.intLat = s2rLatency
-			}
+			mi.intLat = int64(ResultLatency(in.Op))
 		}
 		mi.uniform = in.Pred == sass.PT && !in.PredNeg
 		mi.srcRegs = sourceRegs(in)

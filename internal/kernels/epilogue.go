@@ -1,7 +1,5 @@
 package kernels
 
-import "fmt"
-
 // epilogue emits the output transform (paper Section 4.4): the
 // accumulated pre-transform tiles are scattered across warps (each warp
 // owns tile elements, not tiles), so the data is transposed through a
@@ -223,5 +221,3 @@ func (g *gen) epilogue() {
 	}
 	e.ins(c0().st(5), "EXIT;")
 }
-
-var _ = fmt.Sprintf

@@ -1,0 +1,168 @@
+package kernels_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/sass"
+	"repro/internal/sasscheck"
+)
+
+// lintVariants enumerates every kernel configuration the experiment
+// sweeps launch (EXPERIMENTS.md: fig6/7/8/9, tables 5-7, the ablation),
+// so the structure tests prove each one assembles to a hazard-free,
+// conflict-free instruction stream before any simulation runs.
+func lintVariants() []struct {
+	name string
+	cfg  kernels.Config
+} {
+	mk := func(mut func(*kernels.Config)) kernels.Config {
+		c := kernels.Ours()
+		mut(&c)
+		return c
+	}
+	return []struct {
+		name string
+		cfg  kernels.Config
+	}{
+		{"ours", kernels.Ours()},
+		{"cudnn-like", kernels.CuDNNLike()},
+		{"yield7", mk(func(c *kernels.Config) { c.YieldEvery = 7 })},
+		{"yield8", mk(func(c *kernels.Config) { c.YieldEvery = 8 })},
+		{"ldg2", mk(func(c *kernels.Config) { c.LDGGap = 2 })},
+		{"ldg4", mk(func(c *kernels.Config) { c.LDGGap = 4 })},
+		{"sts2", mk(func(c *kernels.Config) { c.STSGap = 2 })},
+		{"sts4", mk(func(c *kernels.Config) { c.STSGap = 4 })},
+		{"no-p2r", mk(func(c *kernels.Config) { c.UseP2R = false })},
+		{"bk32-all-else-ours", mk(func(c *kernels.Config) { c.BK = 32 })},
+	}
+}
+
+// TestGeneratedKernelsLintClean runs the static verifier over every
+// experiment variant, both full and main-loop-only, plus the odd-H/W
+// edge-guard path, the FTF kernels, and the batched GEMM: zero
+// diagnostics allowed. This is the lint gate the CI sweep job re-runs
+// via cmd/sasslint.
+func TestGeneratedKernelsLintClean(t *testing.T) {
+	even := kernels.Problem{C: 16, K: 64, N: 32, H: 4, W: 4}
+	odd := kernels.Problem{C: 16, K: 64, N: 32, H: 7, W: 7}
+	for _, v := range lintVariants() {
+		for _, mlo := range []bool{false, true} {
+			for _, p := range []kernels.Problem{even, odd} {
+				name := fmt.Sprintf("%s/mlo=%v/H%d", v.name, mlo, p.H)
+				t.Run(name, func(t *testing.T) {
+					k, err := kernels.Generate(v.cfg, p, mlo)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ds, err := sasscheck.CheckKernel(k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, d := range ds {
+						t.Errorf("%s", d)
+					}
+				})
+			}
+		}
+	}
+	for _, kk := range []int{32, 64, 256} {
+		t.Run(fmt.Sprintf("ftf%d", kk), func(t *testing.T) {
+			k, err := kernels.GenerateFTF(kk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := sasscheck.CheckKernel(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range ds {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+	t.Run("gemm", func(t *testing.T) {
+		k, err := kernels.GenerateBatchedGEMM(kernels.Ours(), kernels.GemmProblem{M: 128, N: 128, K: 64, Batch: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := sasscheck.CheckKernel(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range ds {
+			t.Errorf("%s", d)
+		}
+	})
+}
+
+func toAccesses(ps []kernels.SmemPattern) []sasscheck.SmemAccess {
+	accs := make([]sasscheck.SmemAccess, len(ps))
+	for i, p := range ps {
+		accs[i] = sasscheck.SmemAccess{Desc: p.Desc, Width: p.Width,
+			Addrs: p.Addrs, Active: p.Active, AllowConflicts: p.AllowConflicts}
+	}
+	return accs
+}
+
+// TestSmemLayoutsConflictFree proves the Figure-3 fragment layout and
+// the Figure-5 padded transpose bank-clean for both blockings: every
+// pattern the generator's address arithmetic produces services without
+// conflict cycles, except the epilogue scatter, whose two-way conflicts
+// are the documented DESIGN.md deviation — asserted present so the
+// AllowConflicts flag stays honest.
+func TestSmemLayoutsConflictFree(t *testing.T) {
+	for _, cfg := range []kernels.Config{kernels.Ours(), kernels.CuDNNLike()} {
+		ps := kernels.SmemPatterns(cfg)
+		if len(ps) == 0 {
+			t.Fatalf("bk%d: no patterns", cfg.BK)
+		}
+		if ds := sasscheck.CheckSmem(toAccesses(ps)); len(ds) != 0 {
+			for _, d := range ds {
+				t.Errorf("bk%d: %s", cfg.BK, d)
+			}
+		}
+		// The scatter's tolerated conflicts must actually exist: if the
+		// layout ever becomes conflict-free, the AllowConflicts carve-out
+		// (and the DESIGN.md deviation note) should be deleted.
+		scatter := 0
+		accs := toAccesses(ps)
+		for i := range accs {
+			if accs[i].AllowConflicts {
+				accs[i].AllowConflicts = false
+				scatter++
+			}
+		}
+		if scatter == 0 {
+			t.Fatalf("bk%d: no scatter patterns marked AllowConflicts", cfg.BK)
+		}
+		if ds := sasscheck.CheckSmem(accs); len(ds) == 0 {
+			t.Errorf("bk%d: scatter stores lint clean; drop AllowConflicts and the DESIGN.md deviation", cfg.BK)
+		}
+	}
+}
+
+// TestUnpaddedTransposeConflicts is the negative control for the
+// Figure-5 rule: reading a column of the round buffer without the +1
+// row padding serializes all 32 lanes on one bank, and the checker must
+// say so. The padded version of the same access is clean.
+func TestUnpaddedTransposeConflicts(t *testing.T) {
+	mkCol := func(rowWords int) sasscheck.SmemAccess {
+		a := sasscheck.SmemAccess{
+			Desc:  fmt.Sprintf("column read, %d-word rows", rowWords),
+			Width: sass.W32,
+		}
+		for l := 0; l < 32; l++ {
+			a.Addrs[l] = uint32(l * rowWords * 4)
+			a.Active[l] = true
+		}
+		return a
+	}
+	if ds := sasscheck.CheckSmem([]sasscheck.SmemAccess{mkCol(32)}); len(ds) != 1 {
+		t.Errorf("unpadded column read not flagged: %v", ds)
+	}
+	if ds := sasscheck.CheckSmem([]sasscheck.SmemAccess{mkCol(33)}); len(ds) != 0 {
+		t.Errorf("padded column read flagged: %v", ds)
+	}
+}

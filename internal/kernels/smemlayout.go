@@ -1,0 +1,159 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/sass"
+)
+
+// SmemPattern is one warp-wide shared-memory access the generated
+// kernel performs, expressed as the per-lane byte addresses the
+// generator's address arithmetic produces for a representative block.
+// The static verifier replays these through the simulator's bank model
+// (sasscheck.CheckSmem) to prove the Figure-3 fragment layout and the
+// Figure-5 padded transpose are conflict-free — a property that cannot
+// be read off the instruction stream, because the addresses live in
+// registers.
+type SmemPattern struct {
+	Desc   string
+	Width  sass.MemWidth
+	Addrs  [32]uint32
+	Active [32]bool
+	// AllowConflicts marks the epilogue scatter stores, whose residual
+	// two-way conflicts are a documented deviation (DESIGN.md): the
+	// round buffer's +1 padding is sized for the gather side.
+	AllowConflicts bool
+}
+
+// lanePattern builds one pattern from a per-lane address function.
+func lanePattern(desc string, w sass.MemWidth, allow bool, addr func(l int) (uint32, bool)) SmemPattern {
+	p := SmemPattern{Desc: desc, Width: w, AllowConflicts: allow}
+	for l := 0; l < 32; l++ {
+		a, ok := addr(l)
+		p.Addrs[l] = a
+		p.Active[l] = ok
+	}
+	return p
+}
+
+// SmemPatterns enumerates every distinct shared-memory access pattern
+// of the main convolution kernel for cfg: the main-loop fragment loads
+// and staging stores (Section 4.3, Figure 3) and the epilogue transpose
+// (Section 4.4, Figure 5), for every warp, step, and unrolled immediate
+// the generator emits. The formulas here mirror the IMAD/SHF/LOP3
+// address arithmetic in winograd.go and epilogue.go; the structure
+// tests hold them together by running both and checking the store/load
+// round trip.
+func SmemPatterns(cfg Config) []SmemPattern {
+	cfg = cfg.withDefaults()
+	lay := layoutFor(cfg.BK)
+	var ps []SmemPattern
+	add := func(p SmemPattern) { ps = append(ps, p) }
+
+	eStride := 16 * 33 * 4
+	tilesPerThread := 2
+	if lay.bk == 32 {
+		eStride = 8 * 33 * 4
+		tilesPerThread = 1
+	}
+
+	for w := 0; w < 8; w++ { // 256-thread block: 8 warps
+		// Main-loop staging stores.
+		for el := 0; el < 16; el++ {
+			add(lanePattern(desc(lay.bk, "input STS warp %d el %d", w, el), sass.W32, false,
+				func(l int) (uint32, bool) {
+					return uint32(lay.smemIn + w*128 + l*4 + el*0x400), true
+				}))
+		}
+		for i := 0; i < lay.filtVecs; i++ {
+			add(lanePattern(desc(lay.bk, "filter STS.128 warp %d vec %d", w, i), sass.W128, false,
+				func(l int) (uint32, bool) {
+					return uint32(lay.smemFilt + (w*32+l)*16 + i*0x1000), true
+				}))
+		}
+
+		// Main-loop fragment loads, one step per ci block.
+		for ci := 0; ci < 8; ci++ {
+			for pos := 0; pos < lay.positions; pos++ {
+				for _, half := range []int{0, 1} {
+					var fImm, iImm int
+					var fBase, iBase func(l int) int
+					if lay.bk == 64 {
+						fImm = ci*0x100 + pos*0x800 + half*0x80
+						iImm = ci*0x80 + pos*0x400 + half*0x40
+						fBase = func(l int) int { return lay.smemFilt + ((l&15)>>1)*16 + w<<12 }
+						iBase = func(l int) int { return lay.smemIn + (l&1)*16 + (l>>4)*32 + w<<11 }
+					} else {
+						fImm = ci*0x80 + half*0x10
+						iImm = fImm
+						fBase = func(l int) int {
+							p16 := 2*w + l>>4
+							return lay.smemFilt + p16*1024 + (l&3)*32
+						}
+						iBase = func(l int) int {
+							p16 := 2*w + l>>4
+							return lay.smemIn + p16*1024 + ((l&15)>>2)*32
+						}
+					}
+					add(lanePattern(desc(lay.bk, "filter LDS.128 warp %d ci %d pos %d half %d", w, ci, pos, half),
+						sass.W128, false, func(l int) (uint32, bool) { return uint32(fBase(l) + fImm), true }))
+					add(lanePattern(desc(lay.bk, "input LDS.128 warp %d ci %d pos %d half %d", w, ci, pos, half),
+						sass.W128, false, func(l int) (uint32, bool) { return uint32(iBase(l) + iImm), true }))
+				}
+			}
+		}
+
+		// Epilogue gather: otr = (warp*33 + lane)*4 against the padded
+		// [16][kk][33] round buffer.
+		for t := 0; t < tilesPerThread; t++ {
+			for el := 0; el < 16; el++ {
+				add(lanePattern(desc(lay.bk, "epilogue gather LDS warp %d tile %d el %d", w, t, el), sass.W32, false,
+					func(l int) (uint32, bool) {
+						return uint32((w*33+l)*4 + el*eStride + t*8*132), true
+					}))
+			}
+		}
+
+		// Epilogue scatter (deliberately tolerated 2-way conflicts).
+		if lay.bk == 64 {
+			for r := 0; r < 2; r++ { // round parity selects the half-lanes
+				for ePos := 0; ePos < 2; ePos++ {
+					for j := 0; j < 4; j++ {
+						for jj := 0; jj < 8; jj++ {
+							nnoff := jj * 4
+							if jj >= 4 {
+								nnoff = 64 + (jj-4)*4
+							}
+							imm := ePos*eStride + j*132 + nnoff
+							add(lanePattern(desc(lay.bk, "epilogue scatter STS warp %d parity %d ePos %d j %d jj %d", w, r, ePos, j, jj),
+								sass.W32, true, func(l int) (uint32, bool) {
+									kk0 := ((l & 15) >> 1) & 3
+									base := w*2*eStride + kk0*0x210 + (l&1)*16 + (l>>4)*32
+									return uint32(base + imm), (l&15 < 8) == (r == 0)
+								}))
+						}
+					}
+				}
+			}
+		} else {
+			for r := 0; r < 4; r++ {
+				for j := 0; j < 8; j++ {
+					for jj := 0; jj < 8; jj++ {
+						imm := j*132 + jj*4
+						add(lanePattern(desc(lay.bk, "epilogue scatter STS warp %d round %d j %d jj %d", w, r, j, jj),
+							sass.W32, true, func(l int) (uint32, bool) {
+								p16 := 2*w + l>>4
+								base := p16*eStride + ((l&15)>>2)*32
+								return uint32(base + imm), l&3 == r
+							}))
+					}
+				}
+			}
+		}
+	}
+	return ps
+}
+
+func desc(bk int, format string, args ...any) string {
+	return fmt.Sprintf("bk%d ", bk) + fmt.Sprintf(format, args...)
+}

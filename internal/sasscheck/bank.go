@@ -1,0 +1,161 @@
+package sasscheck
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/sass"
+)
+
+// srcSlotReg resolves reuse slot s (0=a, 1=b, 2=c) to the register the
+// instruction reads there, mirroring the operand shapes the executor
+// implements. ok is false when the opcode has no register source in
+// that slot (including slot 1 when the b operand is an immediate or
+// constant).
+func srcSlotReg(in *sass.Inst, s int) (sass.Reg, bool) {
+	var slots [3]bool
+	switch in.Op {
+	case sass.OpFFMA, sass.OpIMAD, sass.OpIADD3, sass.OpLOP3:
+		slots = [3]bool{true, in.SrcMode == sass.SrcReg, true}
+	case sass.OpFADD, sass.OpFMUL, sass.OpISETP, sass.OpSHF, sass.OpSEL:
+		slots = [3]bool{true, in.SrcMode == sass.SrcReg, false}
+	case sass.OpMOV:
+		slots = [3]bool{false, in.SrcMode == sass.SrcReg, false}
+	}
+	if !slots[s] {
+		return sass.RZ, false
+	}
+	switch s {
+	case 0:
+		return in.Rs0, true
+	case 1:
+		return in.Rs1, true
+	default:
+		return in.Rs2, true
+	}
+}
+
+// bankPass checks the Section 6.1 register-file rules over the linear
+// instruction stream: reuse-flag validity, reuse staleness, and the
+// two-bank FFMA operand rule of Figure 4.
+//
+// The operand reuse cache is modelled at its best case — the latch set
+// by the previous ALU instruction carrying reuse flags survives
+// interleaved memory and integer instructions and is never killed by a
+// warp switch. That is the property the generator's schedule is
+// designed around; the simulator additionally charges the conflicts
+// that reappear at run time when a switch or a woven ALU instruction
+// drops the latch (the RegBankConflicts metric). A diagnostic here
+// therefore means the schedule itself is wrong, not that the machine
+// merely had bad luck.
+func bankPass(insts []sass.Inst, emit func(Diag)) {
+	var (
+		latchValid bool
+		latchMask  uint8
+		latchRegs  [3]sass.Reg
+	)
+	for i := range insts {
+		in := &insts[i]
+		isALU := gpu.IsFPOp(in.Op) || gpu.IsIntOp(in.Op)
+
+		// Reuse-flag validity.
+		if in.Ctrl.Reuse != 0 && !isALU {
+			emit(Diag{Rule: "reuse-flags", PC: i, Sev: Error,
+				Msg:  fmt.Sprintf("reuse mask 0x%x on %s, which does not read through the operand collectors", in.Ctrl.Reuse, in.Op),
+				Hint: "reuse flags are only meaningful on FP/ALU source operands"})
+		}
+		if isALU {
+			for s := 0; s < 3; s++ {
+				if in.Ctrl.Reuse&(1<<uint(s)) == 0 {
+					continue
+				}
+				r, ok := srcSlotReg(in, s)
+				if !ok {
+					emit(Diag{Rule: "reuse-flags", PC: i, Sev: Error,
+						Msg:  fmt.Sprintf("reuse flag on slot %d, but %s has no register source there", s, in.Op),
+						Hint: "a reuse bit on an immediate/constant operand latches garbage"})
+					continue
+				}
+				if r == sass.RZ {
+					emit(Diag{Rule: "reuse-flags", PC: i, Sev: Error,
+						Msg:  "reuse flag on RZ, which never reads the register file",
+						Hint: "drop the .reuse suffix"})
+					continue
+				}
+				for _, d := range gpu.DestRegs(in) {
+					if d == r {
+						emit(Diag{Rule: "reuse-stale", PC: i, Sev: Error,
+							Msg:  fmt.Sprintf("latches %s for reuse while also overwriting it", r),
+							Hint: "the next instruction would read the stale pre-write value from the cache"})
+					}
+				}
+			}
+		}
+
+		// FFMA/FADD/FMUL two-bank rule: a conflict needs three live
+		// same-parity reads; operands served by the reuse cache do not
+		// touch the register file.
+		if gpu.IsFPOp(in.Op) {
+			var live [3]sass.Reg
+			nLive := 0
+			for s := 0; s < 3; s++ {
+				r, ok := srcSlotReg(in, s)
+				if !ok || r == sass.RZ {
+					continue
+				}
+				if latchValid && latchMask&(1<<uint(s)) != 0 && latchRegs[s] == r {
+					continue // served from the operand reuse cache
+				}
+				dup := false
+				for _, e := range live[:nLive] {
+					if e == r {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					live[nLive] = r
+					nLive++
+				}
+			}
+			if nLive == 3 && live[0]&1 == live[1]&1 && live[1]&1 == live[2]&1 {
+				bank := "even"
+				if live[0]&1 == 1 {
+					bank = "odd"
+				}
+				emit(Diag{Rule: "ffma-bank", PC: i, Sev: Warn,
+					Msg:  fmt.Sprintf("%s, %s, %s all read the %s 64-bit bank (one extra FP-pipe cycle)", live[0], live[1], live[2], bank),
+					Hint: "give the first operand the opposite parity or reuse the shared operand (Figure 4)"})
+			}
+		}
+
+		// Latch update, as the issue path performs it: an ALU
+		// instruction with reuse flags installs a new latch, one
+		// without flags drops it; memory and control instructions leave
+		// it (and, in this best-case model, so does the weave).
+		if isALU {
+			if in.Ctrl.Reuse != 0 {
+				latchValid = true
+				latchMask = in.Ctrl.Reuse
+				latchRegs = [3]sass.Reg{in.Rs0, in.Rs1, in.Rs2}
+				if in.SrcMode != sass.SrcReg {
+					latchRegs[1] = sass.RZ
+				}
+			} else if gpu.IsFPOp(in.Op) {
+				latchValid = false
+			}
+		}
+		// A write to a latched register invalidates the latch in this
+		// model: serving the stale value would hide a real read, and
+		// the runtime drops the latch at the next ALU issue anyway.
+		if latchValid {
+			for _, d := range gpu.DestRegs(in) {
+				for s := 0; s < 3; s++ {
+					if latchMask&(1<<uint(s)) != 0 && latchRegs[s] == d {
+						latchValid = false
+					}
+				}
+			}
+		}
+	}
+}

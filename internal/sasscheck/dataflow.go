@@ -1,0 +1,271 @@
+package sasscheck
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/sass"
+)
+
+// The hazard analysis is a forward dataflow fixpoint over the control
+// flow graph, tracking per register the facts the simulator's dynamic
+// hazard checker tracks per warp:
+//
+//   - rem: a lower bound on how many more cycles a pending
+//     fixed-latency write needs before its result may be read. Between
+//     instructions, real time advances by at least max(stall, 1) —
+//     warp switches and scheduler contention only add — so "rem > 0 at
+//     a read" means there exists a legal schedule in which the read
+//     returns the stale value.
+//   - remBar: the dependency barrier that also signals that write
+//     (S2R and other ALU results may carry a write barrier), so a wait
+//     soundly clears rem.
+//   - guard: the write barriers guarding in-flight loads into the
+//     register. Mirroring the machine, only a wait clears a guard;
+//     reads and overwrites while any guard bit is set are hazards.
+//   - store: the read barriers of pending stores whose data registers
+//     include this one; an overwrite before the wait races the store's
+//     operand read. Address registers are exempt: the model (like the
+//     simulator's MIO front end) latches addresses at issue.
+//
+// Join is conservative: max for rem, union for the barrier sets. A
+// diagnostic therefore holds on *some* program path, and every hazard
+// the simulator can observe dynamically on any launch is reported.
+type dfState struct {
+	rem    [256]int16
+	remBar [256]int8
+	guard  [256]uint8
+	store  [256]uint8
+}
+
+func newDFState() *dfState {
+	st := &dfState{}
+	for r := range st.remBar {
+		st.remBar[r] = sass.NoBar
+	}
+	return st
+}
+
+// joinFrom widens s with o, reporting whether s changed.
+func (s *dfState) joinFrom(o *dfState) bool {
+	changed := false
+	for r := 0; r < 256; r++ {
+		if g := s.guard[r] | o.guard[r]; g != s.guard[r] {
+			s.guard[r] = g
+			changed = true
+		}
+		if g := s.store[r] | o.store[r]; g != s.store[r] {
+			s.store[r] = g
+			changed = true
+		}
+		switch {
+		case o.rem[r] > s.rem[r]:
+			bar := o.remBar[r]
+			if s.rem[r] > 0 && s.remBar[r] != bar {
+				bar = sass.NoBar // disagreeing producers: no single wait clears this
+			}
+			s.rem[r], s.remBar[r] = o.rem[r], bar
+			changed = true
+		case o.rem[r] > 0 && o.remBar[r] != s.remBar[r]:
+			if s.remBar[r] != sass.NoBar {
+				s.remBar[r] = sass.NoBar
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// pcInfo is the per-instruction summary the transfer function consumes.
+type pcInfo struct {
+	srcs, dsts []sass.Reg
+	storeSrcs  []sass.Reg // data registers of STS/STG (addresses exempt)
+	lat        int16      // fixed result latency; 0 for variable-latency/no-result ops
+	isLoad     bool
+	isStore    bool
+	adv        int16 // minimum cycles to the next issue of this warp
+	succs      []int
+}
+
+func analyze(insts []sass.Inst) []pcInfo {
+	info := make([]pcInfo, len(insts))
+	for i := range insts {
+		in := &insts[i]
+		pi := &info[i]
+		pi.srcs = gpu.SourceRegs(in)
+		pi.dsts = gpu.DestRegs(in)
+		pi.lat = int16(gpu.ResultLatency(in.Op))
+		pi.isLoad = isLoad(in.Op)
+		pi.isStore = in.Op == sass.OpSTS || in.Op == sass.OpSTG
+		if pi.isStore {
+			for j := 0; j < in.Width.Regs(); j++ {
+				if r := in.Rs2 + sass.Reg(j); r != sass.RZ {
+					pi.storeSrcs = append(pi.storeSrcs, r)
+				}
+			}
+		}
+		pi.adv = int16(in.Ctrl.Stall)
+		if pi.adv < 1 {
+			pi.adv = 1
+		}
+		if in.Op == sass.OpBAR {
+			// A warp resumes at least BarSyncCycles after its own
+			// BAR.SYNC issue, which retires any fixed-latency result.
+			pi.adv += int16(gpu.BarSyncCycles())
+		}
+		uncond := in.Pred == sass.PT && !in.PredNeg
+		addSucc := func(t int) {
+			if t >= 0 && t < len(insts) {
+				pi.succs = append(pi.succs, t)
+			}
+		}
+		switch in.Op {
+		case sass.OpEXIT:
+			if !uncond {
+				addSucc(i + 1)
+			}
+		case sass.OpBRA:
+			addSucc(i + 1 + int(int32(in.Imm)))
+			if !uncond {
+				addSucc(i + 1)
+			}
+		default:
+			addSucc(i + 1)
+		}
+	}
+	return info
+}
+
+// transfer applies instruction pc to st. With emit non-nil it also
+// reports the hazards the instruction trips in this state.
+func transfer(st *dfState, pi *pcInfo, c sass.Ctrl, pc int, emit func(Diag)) {
+	// 1. Barrier waits resolve everything those barriers guard. The
+	// machine blocks until the pending count reaches zero, so every
+	// in-flight producer on a waited barrier has completed.
+	if m := c.WaitMask & 0x3f; m != 0 {
+		for r := 0; r < 256; r++ {
+			st.guard[r] &^= m
+			st.store[r] &^= m
+			if b := st.remBar[r]; b >= 0 && m&(1<<uint(b)) != 0 {
+				st.rem[r] = 0
+				st.remBar[r] = sass.NoBar
+			}
+		}
+	}
+
+	if emit != nil {
+		for _, r := range pi.srcs {
+			if g := st.guard[r]; g != 0 {
+				emit(Diag{Rule: "bar-raw", PC: pc, Sev: Error,
+					Msg:  fmt.Sprintf("reads %s while a load into it is in flight on barrier mask 0x%02x", r, g),
+					Hint: "add the barrier to this instruction's wait mask"})
+			} else if st.rem[r] > 0 {
+				emit(Diag{Rule: "stall-raw", PC: pc, Sev: Error,
+					Msg:  fmt.Sprintf("reads %s at least %d cycles before its producer's result lands", r, st.rem[r]),
+					Hint: "increase the stall counts between producer and consumer, or wait on the producer's barrier"})
+			}
+		}
+		for _, r := range pi.dsts {
+			if g := st.guard[r]; g != 0 {
+				emit(Diag{Rule: "bar-waw", PC: pc, Sev: Error,
+					Msg:  fmt.Sprintf("overwrites %s while a load into it is in flight on barrier mask 0x%02x", r, g),
+					Hint: "wait on the load's write barrier before recycling its destination"})
+			}
+			if g := st.store[r]; g != 0 {
+				emit(Diag{Rule: "bar-war", PC: pc, Sev: Error,
+					Msg:  fmt.Sprintf("overwrites %s while a store still reading it is in flight on read-barrier mask 0x%02x", r, g),
+					Hint: "wait on the store's read barrier before recycling its data registers"})
+			}
+			if !pi.isLoad && st.guard[r] == 0 && st.rem[r] > pi.lat {
+				emit(Diag{Rule: "stall-waw", PC: pc, Sev: Error,
+					Msg:  fmt.Sprintf("overwrites %s, whose slower pending write lands %d cycles after this one", r, st.rem[r]-pi.lat),
+					Hint: "the earlier result would clobber this one; stall until the first write completes"})
+			}
+		}
+	}
+
+	// 2. Effects. A new write takes ownership of rem/remBar; barrier
+	// guards persist until a wait, exactly as the machine's per-register
+	// barrier bookkeeping does.
+	for _, r := range pi.dsts {
+		switch {
+		case pi.isLoad:
+			st.rem[r] = 0
+			st.remBar[r] = sass.NoBar
+			if c.WriteBar >= 0 && c.WriteBar <= 5 {
+				st.guard[r] |= 1 << uint(c.WriteBar)
+			}
+		case pi.lat > 0:
+			st.rem[r] = pi.lat
+			st.remBar[r] = sass.NoBar
+			if c.WriteBar >= 0 && c.WriteBar <= 5 {
+				st.remBar[r] = c.WriteBar
+			}
+		}
+	}
+	if pi.isStore && c.ReadBar >= 0 && c.ReadBar <= 5 {
+		for _, r := range pi.storeSrcs {
+			st.store[r] |= 1 << uint(c.ReadBar)
+		}
+	}
+
+	// 3. Advance virtual time to the earliest next issue.
+	for r := 0; r < 256; r++ {
+		if st.rem[r] > 0 {
+			st.rem[r] -= pi.adv
+			if st.rem[r] <= 0 {
+				st.rem[r] = 0
+				st.remBar[r] = sass.NoBar
+			}
+		}
+	}
+}
+
+// dataflowPass runs the hazard fixpoint and emits diagnostics from the
+// converged per-instruction entry states.
+func dataflowPass(insts []sass.Inst, emit func(Diag)) {
+	if len(insts) == 0 {
+		return
+	}
+	info := analyze(insts)
+	entry := make([]*dfState, len(insts))
+	entry[0] = newDFState()
+	work := []int{0}
+	inWork := make([]bool, len(insts))
+	inWork[0] = true
+	var scratch dfState
+	for steps := 0; len(work) > 0; steps++ {
+		if steps > 64*len(insts) {
+			// The lattice is finite, so this cannot happen; guard
+			// against a non-monotone bug looping forever.
+			emit(Diag{Rule: "stall-raw", PC: -1, Sev: Warn,
+				Msg: "hazard analysis did not converge; results may be incomplete"})
+			break
+		}
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[pc] = false
+		scratch = *entry[pc]
+		transfer(&scratch, &info[pc], insts[pc].Ctrl, pc, nil)
+		for _, s := range info[pc].succs {
+			if entry[s] == nil {
+				st := newDFState()
+				*st = scratch
+				entry[s] = st
+			} else if !entry[s].joinFrom(&scratch) {
+				continue
+			}
+			if !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	for pc := range insts {
+		if entry[pc] == nil {
+			continue // unreachable
+		}
+		scratch = *entry[pc]
+		transfer(&scratch, &info[pc], insts[pc].Ctrl, pc, emit)
+	}
+}

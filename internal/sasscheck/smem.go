@@ -1,0 +1,47 @@
+package sasscheck
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/sass"
+)
+
+// SmemAccess is one warp-wide shared-memory access pattern to verify
+// against the 32-bank model: the per-lane byte addresses one LDS/STS
+// issues for one representative warp. Addresses are computed at run
+// time, so they cannot be recovered from the instruction stream; the
+// kernel generator exports the patterns its address arithmetic produces
+// (internal/kernels.SmemPatterns) and CheckSmem replays them through
+// the simulator's bank/phase cost model.
+type SmemAccess struct {
+	Desc   string        // which access this is, e.g. "bk64 warp0 filter LDS.128 step0"
+	Width  sass.MemWidth // access width per lane
+	Addrs  [32]uint32    // per-lane byte addresses into shared memory
+	Active [32]bool      // lanes that participate
+	// AllowConflicts marks patterns whose conflicts are a documented,
+	// deliberate trade (the epilogue scatter stores, DESIGN.md §5):
+	// they are costed, not linted.
+	AllowConflicts bool
+}
+
+// CheckSmem prices each access pattern with the simulator's
+// shared-memory service model (32 banks x 4 bytes, phased by width) and
+// reports a smem-bank diagnostic for every pattern that pays conflict
+// cycles without declaring them deliberate. Diagnostics carry PC -1:
+// the pattern belongs to an address-generation scheme, not to a single
+// instruction.
+func CheckSmem(accs []SmemAccess) []Diag {
+	var ds []Diag
+	for i := range accs {
+		a := &accs[i]
+		cycles, conflict := gpu.SmemAccessCost(a.Width, &a.Addrs, &a.Active)
+		if conflict > 0 && !a.AllowConflicts {
+			ds = append(ds, Diag{Rule: "smem-bank", PC: -1, Sev: Warn,
+				Msg: fmt.Sprintf("%s: %d conflict cycles on top of the %d-cycle conflict-free service",
+					a.Desc, conflict, cycles-conflict),
+				Hint: "pad the leading dimension or swizzle the layout so each phase's lanes hit distinct banks (Figures 3 and 5)"})
+		}
+	}
+	return ds
+}

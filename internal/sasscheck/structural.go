@@ -1,0 +1,191 @@
+package sasscheck
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/sass"
+)
+
+// regCeiling is the highest register index the kernels may touch: the
+// paper notes the register count must stay below 253 to avoid spilling,
+// and the simulator sizes the register file from the code's high-water
+// mark.
+const regCeiling = 253
+
+func isLoad(op sass.Opcode) bool { return op == sass.OpLDG || op == sass.OpLDS }
+
+// barRange reports whether a barrier slot is within {none, 0..5}.
+func barRange(b int8) bool { return b == sass.NoBar || (b >= 0 && b <= 5) }
+
+// structuralPass checks the per-instruction and whole-program
+// properties that need no dataflow: encoding ranges, resource ceilings,
+// barrier plumbing shape, branch targets, and alignment.
+func structuralPass(insts []sass.Inst, emit func(Diag)) {
+	// Union of barriers some instruction can set, for wait-never-set.
+	// The machine increments a barrier's pending count for write
+	// barriers on memory and ALU instructions and for read barriers on
+	// memory instructions; barriers named anywhere else never become
+	// pending, so a wait on a barrier outside this set can never have
+	// an effect (and usually marks a typo'd barrier index).
+	var setMask uint8
+	for i := range insts {
+		in := &insts[i]
+		c := in.Ctrl
+		if in.Op.IsMemory() {
+			if c.WriteBar >= 0 && c.WriteBar <= 5 {
+				setMask |= 1 << uint(c.WriteBar)
+			}
+			if c.ReadBar >= 0 && c.ReadBar <= 5 {
+				setMask |= 1 << uint(c.ReadBar)
+			}
+		} else if gpu.IsIntOp(in.Op) && c.WriteBar >= 0 && c.WriteBar <= 5 {
+			setMask |= 1 << uint(c.WriteBar)
+		}
+	}
+
+	for i := range insts {
+		in := &insts[i]
+		c := in.Ctrl
+
+		if !in.Op.Valid() {
+			emit(Diag{Rule: "bad-opcode", PC: i, Sev: Error,
+				Msg:  fmt.Sprintf("undefined opcode 0x%03x", uint16(in.Op)),
+				Hint: "the stream is corrupt or was built by hand with a bad opcode"})
+			continue // nothing else is meaningful for an unknown op
+		}
+
+		// ctrl-range: encoding-width limits (Section 5.1.4).
+		if c.Stall > 15 {
+			emit(Diag{Rule: "ctrl-range", PC: i, Sev: Error,
+				Msg: fmt.Sprintf("stall count %d exceeds the 4-bit field (max 15)", c.Stall)})
+		}
+		if !barRange(c.WriteBar) {
+			emit(Diag{Rule: "ctrl-range", PC: i, Sev: Error,
+				Msg: fmt.Sprintf("write barrier %d outside 0..5", c.WriteBar)})
+		}
+		if !barRange(c.ReadBar) {
+			emit(Diag{Rule: "ctrl-range", PC: i, Sev: Error,
+				Msg: fmt.Sprintf("read barrier %d outside 0..5", c.ReadBar)})
+		}
+		if c.WaitMask > 0x3f {
+			emit(Diag{Rule: "ctrl-range", PC: i, Sev: Error,
+				Msg: fmt.Sprintf("wait mask 0x%02x names barriers beyond the six the hardware has", c.WaitMask)})
+		}
+		if c.Reuse > 0x7 {
+			emit(Diag{Rule: "ctrl-range", PC: i, Sev: Error,
+				Msg: fmt.Sprintf("reuse mask 0x%x sets bits beyond the three source slots", c.Reuse)})
+		}
+
+		// pred-range (Section 5.2.1): P0..P6 plus PT. Only the guard is
+		// live on every opcode; Pd/SrcPred matter on ISETP and SEL.
+		if in.Pred > sass.PT {
+			emit(Diag{Rule: "pred-range", PC: i, Sev: Error,
+				Msg: fmt.Sprintf("guard predicate index %d beyond P6/PT", in.Pred)})
+		}
+		if (in.Op == sass.OpISETP && in.Pd > sass.PT) ||
+			((in.Op == sass.OpISETP || in.Op == sass.OpSEL) && in.SrcPred > sass.PT) {
+			emit(Diag{Rule: "pred-range", PC: i, Sev: Error,
+				Msg: "destination/source predicate index beyond P6/PT"})
+		}
+
+		// reg-ceiling over the exact live register sets.
+		for _, r := range gpu.SourceRegs(in) {
+			if r != sass.RZ && int(r) > regCeiling {
+				emit(Diag{Rule: "reg-ceiling", PC: i, Sev: Error,
+					Msg:  fmt.Sprintf("reads %s above the R%d ceiling", r, regCeiling),
+					Hint: "the paper's layout must stay below 253 registers to avoid spills"})
+			}
+		}
+		for _, r := range gpu.DestRegs(in) {
+			if r != sass.RZ && int(r) > regCeiling {
+				emit(Diag{Rule: "reg-ceiling", PC: i, Sev: Error,
+					Msg:  fmt.Sprintf("writes %s above the R%d ceiling", r, regCeiling),
+					Hint: "the paper's layout must stay below 253 registers to avoid spills"})
+			}
+		}
+
+		// bar-self / bar-unreleased: barrier plumbing shape.
+		if c.WriteBar >= 0 && c.WriteBar == c.ReadBar {
+			emit(Diag{Rule: "bar-self", PC: i, Sev: Error,
+				Msg:  fmt.Sprintf("read and write barrier both %d", c.WriteBar),
+				Hint: "allocate distinct barriers; a shared slot releases early"})
+		}
+		if c.WriteBar >= 0 && c.WriteBar <= 5 && !in.Op.IsMemory() && !gpu.IsIntOp(in.Op) {
+			emit(Diag{Rule: "bar-unreleased", PC: i, Sev: Error,
+				Msg:  fmt.Sprintf("write barrier %d on %s, which never releases it", c.WriteBar, in.Op),
+				Hint: "only memory and ALU results release write barriers; a wait on this barrier deadlocks once it becomes pending"})
+		}
+		if c.ReadBar >= 0 && c.ReadBar <= 5 && !in.Op.IsMemory() {
+			emit(Diag{Rule: "bar-unreleased", PC: i, Sev: Error,
+				Msg:  fmt.Sprintf("read barrier %d on %s, which never releases it", c.ReadBar, in.Op),
+				Hint: "read barriers track memory operand reads only"})
+		}
+
+		// wait-never-set: a wait bit no instruction can make pending.
+		if dead := c.WaitMask & 0x3f &^ setMask; dead != 0 {
+			emit(Diag{Rule: "wait-never-set", PC: i, Sev: Error,
+				Msg:  fmt.Sprintf("waits on barrier mask 0x%02x, but no instruction in the kernel sets those barriers", dead),
+				Hint: "drop the wait or fix the producer's barrier index"})
+		}
+
+		// load-no-writebar: the contract the simulator enforces at issue.
+		if isLoad(in.Op) && c.WriteBar < 0 {
+			emit(Diag{Rule: "load-no-writebar", PC: i, Sev: Error,
+				Msg:  "load without a write barrier",
+				Hint: "variable-latency results must signal completion through a dependency barrier"})
+		}
+
+		// vec-align / mem-align for memory operands.
+		if in.Op.IsMemory() {
+			if w := in.Width; w != sass.W32 && w != sass.W64 && w != sass.W128 {
+				emit(Diag{Rule: "vec-align", PC: i, Sev: Error,
+					Msg: fmt.Sprintf("memory access width %d is not 4, 8, or 16 bytes", int(w))})
+			} else {
+				n := in.Width.Regs()
+				if n > 1 {
+					if isLoad(in.Op) && in.Rd != sass.RZ && int(in.Rd)%n != 0 {
+						emit(Diag{Rule: "vec-align", PC: i, Sev: Error,
+							Msg: fmt.Sprintf("%s%s destination %s is not aligned to a %d-register vector", in.Op, in.Width.Suffix(), in.Rd, n)})
+					}
+					if !isLoad(in.Op) && int(in.Rs2)%n != 0 {
+						emit(Diag{Rule: "vec-align", PC: i, Sev: Error,
+							Msg: fmt.Sprintf("%s%s source %s is not aligned to a %d-register vector", in.Op, in.Width.Suffix(), in.Rs2, n)})
+					}
+				}
+				if in.Imm%uint32(in.Width) != 0 {
+					emit(Diag{Rule: "mem-align", PC: i, Sev: Warn,
+						Msg:  fmt.Sprintf("offset 0x%x is not %d-byte aligned", in.Imm, int(in.Width)),
+						Hint: "the access faults unless the base register compensates"})
+				}
+			}
+		}
+
+		// bad-branch / no-exit: the control-flow skeleton.
+		switch in.Op {
+		case sass.OpBRA:
+			tgt := i + 1 + int(int32(in.Imm))
+			if tgt < 0 || tgt >= len(insts) {
+				emit(Diag{Rule: "bad-branch", PC: i, Sev: Error,
+					Msg: fmt.Sprintf("branch target %d outside the %d-instruction stream", tgt, len(insts))})
+			}
+			if i+1 == len(insts) && (in.Pred != sass.PT || in.PredNeg) {
+				emit(Diag{Rule: "no-exit", PC: i, Sev: Error,
+					Msg: "a not-taken branch at the end of the stream runs off the kernel"})
+			}
+		case sass.OpEXIT:
+			// terminates its path (a predicated EXIT falls through, but
+			// then a later instruction ends the stream).
+			if i+1 == len(insts) && (in.Pred != sass.PT || in.PredNeg) {
+				emit(Diag{Rule: "no-exit", PC: i, Sev: Error,
+					Msg: "a predicated EXIT at the end of the stream can fall off the kernel"})
+			}
+		default:
+			if i+1 == len(insts) {
+				emit(Diag{Rule: "no-exit", PC: i, Sev: Error,
+					Msg:  "the stream ends without EXIT",
+					Hint: "warps that reach the end deadlock; terminate every path with EXIT"})
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package turingas
+
+import (
+	"testing"
+
+	"repro/internal/sass"
+)
+
+// FuzzParseCtrl checks that the control-code render/parse pair is a
+// fixed point: any valid sass.Ctrl must survive String -> parseCtrl ->
+// String unchanged. The fuzzer drives the raw field bytes and the test
+// clamps them into the valid ranges the ISA defines (wait mask 6 bits,
+// barriers -1..5, stall 0..15), so every generated Ctrl is one the
+// assembler and generator could legitimately emit.
+func FuzzParseCtrl(f *testing.F) {
+	f.Add(uint8(0), int8(-1), int8(-1), true, uint8(1))    // --:-:-:Y:1
+	f.Add(uint8(0x3f), int8(5), int8(0), false, uint8(15)) // 3f:5:0:-:15
+	f.Add(uint8(0x01), int8(-1), int8(2), true, uint8(0))  // 01:-:2:Y:0
+	f.Add(uint8(0x20), int8(0), int8(5), false, uint8(4))
+	f.Fuzz(func(t *testing.T, wait uint8, readBar, writeBar int8, yield bool, stall uint8) {
+		clampBar := func(b int8) int8 {
+			// Map an arbitrary byte onto the legal -1..5 range.
+			v := int8(((int(b)%7)+7)%7) - 1
+			return v
+		}
+		c := sass.Ctrl{
+			WaitMask: wait & 0x3f,
+			ReadBar:  clampBar(readBar),
+			WriteBar: clampBar(writeBar),
+			Yield:    yield,
+			Stall:    stall & 0xf,
+		}
+		s := c.String()
+		got, err := parseCtrl(s)
+		if err != nil {
+			t.Fatalf("parseCtrl(%q) = %v for valid ctrl %+v", s, err, c)
+		}
+		if got != c {
+			t.Fatalf("round trip changed ctrl: %+v -> %q -> %+v", c, s, got)
+		}
+		if got.String() != s {
+			t.Fatalf("String not a fixed point: %q -> %q", s, got.String())
+		}
+	})
+}

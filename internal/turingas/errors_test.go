@@ -35,6 +35,19 @@ func TestOperandErrorsPerMnemonic(t *testing.T) {
 		{"bad const operand", "--:-:-:Y:1  MOV R0, c[0x0;"},
 		{"const offset out of range", "--:-:-:Y:1  MOV R0, c[0x0][0x10000];"},
 		{"imad unknown modifier", "--:-:-:Y:1  IMAD.LO R0, R1, R2, R3;"},
+		{"ctrl write barrier out of range", "--:-:6:Y:1  LDS R0, [R2];"},
+		{"ctrl read barrier out of range", "--:6:-:Y:1  STS [R2], R0;"},
+		{"ctrl negative barrier", "--:-2:-:Y:1  MOV R0, 0x1;"},
+		{"ctrl stall out of range", "--:-:-:Y:16  MOV R0, 0x1;"},
+		{"ctrl negative stall", "--:-:-:Y:-1  MOV R0, 0x1;"},
+		{"ctrl wait mask too wide", "7f:-:-:Y:1  MOV R0, 0x1;"},
+		{"ctrl wait mask not hex", "zz:-:-:Y:1  MOV R0, 0x1;"},
+		{"ctrl bad yield flag", "--:-:-:X:1  MOV R0, 0x1;"},
+		{"ctrl missing field", "--:-:Y:1  MOV R0, 0x1;"},
+		{"reuse on dest", "--:-:-:Y:1  MOV R0.reuse, R1;"},
+		{"reuse on store data", "--:-:-:Y:1  STS [R2], R0.reuse;"},
+		{"reuse on rz", "--:-:-:Y:4  FFMA R4, RZ.reuse, R2, R3;"},
+		{"reuse on address reg", "--:-:-:Y:1  LDS R0, [R2.reuse];"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -692,9 +692,18 @@ func parseCtrl(tok string) (sass.Ctrl, error) {
 func (a *asm) parseReg(tok string, inst *sass.Inst, slot int) (sass.Reg, error) {
 	if strings.HasSuffix(tok, ".reuse") {
 		tok = strings.TrimSuffix(tok, ".reuse")
-		if slot >= 0 {
-			inst.Ctrl.Reuse |= 1 << uint(slot)
+		if slot < 0 {
+			// Destinations and memory operands never read through the
+			// operand collectors; a .reuse there latches nothing and
+			// marks a scheduling bug in the emitting template.
+			return 0, fmt.Errorf(".reuse on %q, which is not a reusable source slot", tok)
 		}
+		if resolved := tok; resolved == "RZ" || a.aliases[resolved] == "RZ" {
+			// RZ is hardwired zero and never occupies a collector; the
+			// flag would silently latch garbage for the slot.
+			return 0, fmt.Errorf(".reuse on RZ")
+		}
+		inst.Ctrl.Reuse |= 1 << uint(slot)
 	}
 	if alias, ok := a.aliases[tok]; ok {
 		tok = alias
