@@ -6,9 +6,16 @@
 //
 //	gpusim [-dev v100|rtx2070] [-layer conv2..conv5] [-n 32] [-bk 64]
 //	       [-yield 0] [-ldg 8] [-sts 6] [-mainloop] [-waves 4] [-verify]
+//	       [-prof] [-trace trace.json]
 //
 // -verify runs a reduced problem end to end (all blocks simulated) and
 // checks the simulated kernel's output against the CPU reference.
+//
+// -prof attaches the profiler and prints stall-attribution reports with
+// annotated SASS listings for both launches (the memory-bound filter
+// transform, then the sampled main kernel). -trace also writes the main
+// kernel's warp timeline as a Chrome trace (load at chrome://tracing or
+// ui.perfetto.dev) and implies profiling.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/conv"
 	"repro/internal/gpu"
+	"repro/internal/gpu/prof"
 	"repro/internal/kernels"
 	"repro/internal/tensor"
 )
@@ -34,6 +42,8 @@ func main() {
 	mainloop := flag.Bool("mainloop", false, "measure the main loop only")
 	waves := flag.Int("waves", 4, "occupancy-waves to sample")
 	verify := flag.Bool("verify", false, "run a reduced problem fully and verify against CPU reference")
+	profFlag := flag.Bool("prof", false, "print stall-attribution reports with annotated SASS listings")
+	trace := flag.String("trace", "", "write the main kernel's warp timeline as a Chrome trace to this file (implies -prof)")
 	flag.Parse()
 
 	var dev gpu.Device
@@ -93,6 +103,8 @@ func main() {
 	p := l.Problem(*n)
 	ctx := bench.NewCtx()
 	ctx.Waves = *waves
+	ctx.Profile = *profFlag || *trace != ""
+	ctx.ProfileTimeline = *trace != ""
 	s, err := ctx.KernelSample(dev, cfg, p, *mainloop)
 	if err != nil {
 		fatal(err)
@@ -113,6 +125,29 @@ func main() {
 	fmt.Printf("  switches=%d regBankConf=%d smemConf=%d smemQStall=%d mshrStall=%d L2 %d/%d hits\n",
 		m.SwitchCount, m.RegBankConflicts, m.SmemConflictCycles,
 		m.MIOStallCycles, m.MSHRStallCycles, m.L2Hits, m.L2Hits+m.L2Misses)
+
+	if ctx.Profile {
+		for _, lp := range []*gpu.LaunchProfile{s.FTFProf, s.Prof} {
+			fmt.Println()
+			if err := prof.Text(os.Stdout, lp); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := prof.WriteChromeTrace(f, s.Prof); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace of the main kernel to %s\n", *trace)
+	}
 }
 
 func capitalize(s string) string {

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	winograd-bench [-waves N] [-quick] [-markdown] [-jobs N] [-timings] [experiment ...]
+//	winograd-bench [-waves N] [-quick] [-markdown] [-jobs N] [-timings] [-prof] [experiment ...]
 //
 // With no arguments it lists the available experiments; "all" runs the
 // whole evaluation in paper order. Experiment ids may be repeated and
@@ -38,6 +38,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavoured markdown")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation jobs (1 = sequential)")
 	timings := fs.Bool("timings", false, "print per-job timing detail to stderr")
+	profile := fs.Bool("prof", false, "profile every sample and add stall-breakdown columns where tables support them")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -90,6 +91,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	ctx := bench.NewCtx()
 	ctx.Waves = *waves
 	ctx.Quick = *quick
+	ctx.Profile = *profile
 
 	runner := &bench.Runner{Ctx: ctx, Workers: *jobs}
 	start := time.Now()

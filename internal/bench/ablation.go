@@ -77,8 +77,14 @@ func runAblation(c *Ctx) (*Table, error) {
 	l, n := ablationProblem(c)
 	p := l.Problem(n)
 
+	header := []string{"Variant", "time (ms)", "vs paper config", "main SOL", "paper ref"}
+	if c.Profile {
+		// Stall-breakdown columns only exist in profiled runs, so the
+		// default table (and its goldens) is untouched.
+		header = append(header, stallHeader...)
+	}
 	t := &Table{ID: "ablation", Title: fmt.Sprintf("Design-choice ablation on %s, %s (full kernel)", l.Tag(n), dev.Name),
-		Header: []string{"Variant", "time (ms)", "vs paper config", "main SOL", "paper ref"}}
+		Header: header}
 	var base float64
 	for _, v := range ablationVariants() {
 		full, err := c.KernelSample(dev, v.cfg, p, false)
@@ -94,9 +100,42 @@ func runAblation(c *Ctx) (*Table, error) {
 		if base == 0 {
 			base = secs
 		}
-		t.AddRow(v.name, fmt.Sprintf("%.3f", secs*1e3), fmt.Sprintf("%.3fx", secs/base),
-			pct(main.SOL), v.note)
+		row := []string{v.name, fmt.Sprintf("%.3f", secs*1e3), fmt.Sprintf("%.3fx", secs/base),
+			pct(main.SOL), v.note}
+		if c.Profile {
+			row = append(row, stallCols(main.Prof)...)
+		}
+		t.AddRow(row...)
 	}
 	t.Note("each row changes one knob from the paper's configuration; the last row combines them all")
+	if c.Profile {
+		t.Note("stall columns attribute the main loop's resident warp-cycles by reason (profiled run)")
+	}
 	return t, nil
+}
+
+// stallHeader names the profiled warp-cycle attribution columns appended
+// to ablation rows: where the main loop's resident warp-cycles go.
+var stallHeader = []string{"issued", "ctrl", "dep-bar", "mio", "mshr", "other"}
+
+// stallCols renders a launch profile's warp-cycle attribution as
+// percentages matching stallHeader ("other" folds pipe-busy,
+// not-selected, and bar-sync together).
+func stallCols(lp *gpu.LaunchProfile) []string {
+	if lp == nil {
+		return []string{"-", "-", "-", "-", "-", "-"}
+	}
+	tot := lp.WarpStallTotals()
+	resident := lp.TotalWarpCycles()
+	p := func(v int64) string {
+		if resident == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", float64(v)/float64(resident)*100)
+	}
+	other := tot[gpu.StallPipe] + tot[gpu.StallNotSelected] + tot[gpu.StallBarSync]
+	return []string{
+		p(tot[gpu.StallNone]), p(tot[gpu.StallCtrl]), p(tot[gpu.StallBarDep]),
+		p(tot[gpu.StallMIOFull]), p(tot[gpu.StallMSHRFull]), p(other),
+	}
 }

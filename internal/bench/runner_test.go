@@ -64,6 +64,60 @@ func TestRunnerDeterminism(t *testing.T) {
 	}
 }
 
+// TestRunnerProfiledDeterminism exercises the profiler under the
+// concurrent runner (the -race CI job makes this the profiling race
+// test): with Profile set, a 1-worker and a >=4-worker run of the
+// ablation experiment must render identical stall-breakdown columns,
+// and every sample must carry both launch profiles.
+func TestRunnerProfiledDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator experiments are not short")
+	}
+	abl, _ := Get("ablation")
+	render := func(workers int) (string, *Ctx) {
+		ctx := &Ctx{Waves: 1, Quick: true, Profile: true, ProfileTimeline: true}
+		r := &Runner{Ctx: ctx, Workers: workers}
+		results, _, err := r.Run([]Experiment{abl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results[0].Table.Format(), ctx
+	}
+	seq, _ := render(1)
+	par, ctx := render(runnerWorkers())
+	if seq != par {
+		t.Fatalf("profiled parallel run differs from sequential run:\n--- jobs=1 ---\n%s\n--- jobs=%d ---\n%s",
+			seq, runnerWorkers(), par)
+	}
+	if !strings.Contains(seq, "dep-bar") {
+		t.Fatalf("profiled ablation table lacks stall columns:\n%s", seq)
+	}
+
+	// Every cached sample of the profiled run carries both launches,
+	// and the attribution reconciles with the sample's metrics.
+	n := 0
+	for _, e := range ctx.cache {
+		s := e.s
+		if s.Prof == nil || s.FTFProf == nil {
+			t.Fatal("profiled sample missing a launch profile")
+		}
+		if s.Prof.TotalWarpCycles() == 0 || len(s.Prof.Warps) == 0 {
+			t.Fatal("empty main-kernel profile")
+		}
+		var tot int64
+		for _, v := range s.Metrics.WarpCycles {
+			tot += v
+		}
+		if tot != s.Prof.TotalWarpCycles() {
+			t.Fatalf("metrics warp-cycles %d != profile %d", tot, s.Prof.TotalWarpCycles())
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no samples cached")
+	}
+}
+
 // TestRunnerCrossExperimentDedup proves a sample requested by two
 // experiments in one run simulates exactly once: table6 and fig10 both
 // need (RTX2070, Ours, full kernel) samples, so the requested job count

@@ -24,6 +24,14 @@ type Ctx struct {
 	// Quick restricts experiments to a reduced layer/batch sweep (used
 	// by tests and -short benchmarks).
 	Quick bool
+	// Profile attaches a fresh gpu.Profiler to every simulation, filling
+	// Sample.Prof/FTFProf with per-instruction stall attribution. Off by
+	// default: table output must stay byte-identical to the goldens, and
+	// profiled simulations pay a small accounting overhead.
+	Profile bool
+	// ProfileTimeline additionally records per-warp interval events and
+	// LDG spans (needed for Chrome traces; more memory per sample).
+	ProfileTimeline bool
 
 	mu    sync.Mutex
 	cache map[string]*sampleEntry
@@ -52,6 +60,10 @@ type Sample struct {
 	Occ           gpu.Occupancy
 	TotalBlocks   int
 	Metrics       *gpu.Metrics
+	// Prof and FTFProf are the main-kernel and filter-transform launch
+	// profiles; nil unless the Ctx has Profile set.
+	Prof    *gpu.LaunchProfile
+	FTFProf *gpu.LaunchProfile
 }
 
 func (c *Ctx) waves() int {
@@ -110,19 +122,30 @@ func (c *Ctx) simulate(j Job) (*Sample, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := kernels.RunConvSampled(j.Dev, j.Cfg, j.P, occ.BlocksPerSM*c.waves(), j.MainOnly, j.Hot)
+	// A per-call profiler keeps concurrent simulations race-free; its
+	// two launch profiles (FTF then main) land on the sample.
+	var prof *gpu.Profiler
+	if c.Profile {
+		prof = gpu.NewProfiler()
+		prof.Timeline = c.ProfileTimeline
+	}
+	res, err := kernels.RunConvSampledProfiled(j.Dev, j.Cfg, j.P, occ.BlocksPerSM*c.waves(), j.MainOnly, j.Hot, prof)
 	if err != nil {
 		return nil, err
 	}
 	gx, gy, gz := kernels.GridFor(j.Cfg, j.P)
-	return &Sample{
+	s := &Sample{
 		CyclesPerWave: float64(res.Main.Cycles) / float64(c.waves()),
 		FLOPsPerWave:  res.Main.FLOPs() / float64(c.waves()) / float64(res.Main.SimSMs),
 		SOL:           res.Main.SOL(),
 		Occ:           occ,
 		TotalBlocks:   gx * gy * gz,
 		Metrics:       res.Main,
-	}, nil
+	}
+	if prof != nil && len(prof.Launches) == 2 {
+		s.FTFProf, s.Prof = prof.Launches[0], prof.Launches[1]
+	}
+	return s, nil
 }
 
 // SimulatedSamples reports how many distinct samples this Ctx has

@@ -46,6 +46,10 @@ type warp struct {
 	regReadyAt []int64
 	regBar     []int8
 	barRegs    [6][]sass.Reg
+
+	// profIdx is this warp's index into the launch profile's warp table;
+	// set on block load and meaningful only while a profiler is attached.
+	profIdx int
 }
 
 // quiescent reports whether the warp has no outstanding dependency-barrier

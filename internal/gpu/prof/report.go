@@ -1,0 +1,134 @@
+// Package prof renders gpu.LaunchProfile data for humans and tools: a
+// text report that annotates the disassembled SASS listing with
+// per-instruction stall attribution (the simulator's answer to nvprof's
+// stall breakdowns), and a Chrome-trace exporter for warp timelines.
+//
+// Collection lives in internal/gpu (Sim.Prof); this package only
+// formats, so it can grow views without touching the simulator.
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/gpu"
+)
+
+// reportReasons is the column order of the per-reason breakdowns: every
+// stall reason, most diagnostic first.
+var reportReasons = []gpu.StallReason{
+	gpu.StallCtrl, gpu.StallBarDep, gpu.StallMIOFull, gpu.StallMSHRFull,
+	gpu.StallPipe, gpu.StallNotSelected, gpu.StallBarSync,
+}
+
+// Text writes the full profile report: launch summary, warp-cycle and
+// issue-slot breakdowns, LDG occupancy, the hottest instructions by
+// stall cycles, and the annotated listing.
+func Text(w io.Writer, lp *gpu.LaunchProfile) error {
+	if lp == nil {
+		return fmt.Errorf("prof: nil profile")
+	}
+	bw := &errWriter{w: w}
+
+	bw.printf("== profile: %s ==\n", lp.Kernel)
+	bw.printf("SMs %d, cycles %d, issue slots %d, issued %d (%.1f%% slot utilization)\n",
+		lp.SimSMs, lp.Cycles, lp.SchedCycles, lp.IssuedSlots, lp.IssueSlotUtil()*100)
+
+	tot := lp.WarpStallTotals()
+	resident := lp.TotalWarpCycles()
+	bw.printf("\nwarp-cycle attribution (%d warps, %d resident warp-cycles):\n", len(lp.Warps), resident)
+	pct := func(v int64) float64 {
+		if resident == 0 {
+			return 0
+		}
+		return float64(v) / float64(resident) * 100
+	}
+	bw.printf("  %-13s %12d  %5.1f%%\n", "issued", tot[gpu.StallNone], pct(tot[gpu.StallNone]))
+	for _, r := range reportReasons {
+		if tot[r] == 0 {
+			continue
+		}
+		bw.printf("  %-13s %12d  %5.1f%%\n", r, tot[r], pct(tot[r]))
+	}
+
+	bw.printf("\nissue-slot attribution (%d slot-cycles):\n", lp.SchedCycles)
+	spct := func(v int64) float64 {
+		if lp.SchedCycles == 0 {
+			return 0
+		}
+		return float64(v) / float64(lp.SchedCycles) * 100
+	}
+	bw.printf("  %-13s %12d  %5.1f%%\n", "issued", lp.IssuedSlots, spct(lp.IssuedSlots))
+	for _, r := range reportReasons {
+		if lp.SlotStalls[r] == 0 {
+			continue
+		}
+		bw.printf("  %-13s %12d  %5.1f%%\n", r, lp.SlotStalls[r], spct(lp.SlotStalls[r]))
+	}
+	if v := lp.SlotStalls[gpu.StallNone]; v > 0 {
+		bw.printf("  %-13s %12d  %5.1f%%\n", "no-warp", v, spct(v))
+	}
+
+	if mean, peak := lp.LDGOccupancy(); peak > 0 {
+		bw.printf("\nin-flight LDGs: mean %.1f, peak %d (%d spans", mean, peak, len(lp.LDGSpans))
+		if lp.DroppedSpans > 0 {
+			bw.printf(", %d dropped", lp.DroppedSpans)
+		}
+		bw.printf(")\n")
+	}
+
+	// Hottest instructions by total stall cycles.
+	type hot struct {
+		pc    int
+		stall int64
+	}
+	var hots []hot
+	for pc := range lp.PerInst {
+		if s := lp.PerInst[pc].StallTotal(); s > 0 {
+			hots = append(hots, hot{pc, s})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].stall != hots[j].stall {
+			return hots[i].stall > hots[j].stall
+		}
+		return hots[i].pc < hots[j].pc
+	})
+	if len(hots) > 10 {
+		hots = hots[:10]
+	}
+	if len(hots) > 0 {
+		bw.printf("\nhottest instructions (by stall cycles):\n")
+		for _, h := range hots {
+			ip := &lp.PerInst[h.pc]
+			r, _ := ip.TopReason()
+			bw.printf("  pc %3d  %10d stall (%s)  %s\n", h.pc, h.stall, r, lp.Insts[h.pc])
+		}
+	}
+
+	bw.printf("\nannotated listing (issues / stall cycles / top reason):\n")
+	for pc := range lp.Insts {
+		ip := &lp.PerInst[pc]
+		top := ""
+		if r, c := ip.TopReason(); c > 0 {
+			top = fmt.Sprintf("%s %d", r, c)
+		}
+		bw.printf("%4d %10d %10d  %-20s %s  %s\n",
+			pc, ip.Issues, ip.StallTotal(), top, lp.Insts[pc].Ctrl, lp.Insts[pc])
+	}
+	return bw.err
+}
+
+// errWriter folds the error plumbing out of the report body.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,125 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/gpu"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing / Perfetto "JSON Array with metadata" flavour). The
+// time unit is simulated cycles, written as microseconds so one trace
+// microsecond equals one GPU cycle.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace exports the launch timeline as a Chrome trace: one
+// process per SM instance, one thread per warp (named by block and warp
+// index), complete ("X") events for every coalesced run/stall interval,
+// and a per-SM "ldg in flight" counter track derived from the recorded
+// LDG spans. The profile must have been collected with Timeline set, or
+// the warp tracks will be empty.
+func WriteChromeTrace(w io.Writer, lp *gpu.LaunchProfile) error {
+	if lp == nil {
+		return fmt.Errorf("prof: nil profile")
+	}
+	tr := chromeTrace{
+		TraceEvents:     []chromeEvent{},
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]any{
+			"kernel":       lp.Kernel,
+			"cycles":       lp.Cycles,
+			"sim_sms":      lp.SimSMs,
+			"issued_slots": lp.IssuedSlots,
+		},
+	}
+
+	// Metadata: name SM processes and warp threads.
+	for sm := 0; sm < lp.SimSMs; sm++ {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: sm,
+			Args: map[string]any{"name": fmt.Sprintf("SM %d: %s", sm, lp.Kernel)},
+		})
+	}
+	for i := range lp.Warps {
+		wp := &lp.Warps[i]
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: wp.SM, Tid: i,
+			Args: map[string]any{"name": fmt.Sprintf("block %d warp %d", wp.Block, wp.Warp)},
+		})
+	}
+
+	// Warp interval events. Issue runs are named "run"; stall intervals
+	// carry the reason name and the blocked instruction.
+	for _, e := range lp.Events {
+		wp := &lp.Warps[e.Warp]
+		name := "run"
+		cat := "issue"
+		if e.Reason != gpu.StallNone {
+			name = e.Reason.String()
+			cat = "stall"
+		}
+		ev := chromeEvent{
+			Name: name, Cat: cat, Ph: "X",
+			Ts: e.Start, Dur: e.End - e.Start,
+			Pid: wp.SM, Tid: e.Warp,
+		}
+		if e.PC >= 0 && e.PC < len(lp.Insts) {
+			ev.Args = map[string]any{"pc": e.PC, "inst": lp.Insts[e.PC].String()}
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ev)
+	}
+
+	// In-flight LDG counter per SM, one sample per change point.
+	type delta struct {
+		at int64
+		sm int
+		d  int
+	}
+	var deltas []delta
+	for _, s := range lp.LDGSpans {
+		deltas = append(deltas, delta{s.Start, s.SM, 1}, delta{s.End, s.SM, -1})
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].at != deltas[j].at {
+			return deltas[i].at < deltas[j].at
+		}
+		if deltas[i].sm != deltas[j].sm {
+			return deltas[i].sm < deltas[j].sm
+		}
+		return deltas[i].d < deltas[j].d
+	})
+	counts := map[int]int{}
+	for i, d := range deltas {
+		counts[d.sm] += d.d
+		// Emit only at the last delta of each (cycle, sm) group.
+		if i+1 < len(deltas) && deltas[i+1].at == d.at && deltas[i+1].sm == d.sm {
+			continue
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "ldg in flight", Ph: "C", Ts: d.at, Pid: d.sm,
+			Args: map[string]any{"loads": counts[d.sm]},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&tr)
+}

@@ -35,6 +35,13 @@ type Sim struct {
 	// simulator itself always computes correct results — the checker
 	// reports what would have raced on real hardware.
 	HazardCheck bool
+	// Prof, when non-nil, records a LaunchProfile for every Launch:
+	// per-instruction and per-warp stall attribution, issue-slot
+	// utilization, and in-flight-LDG spans (see prof.go). Profiling is
+	// read-only — it never changes simulated results — and with Prof nil
+	// every hook reduces to one pointer compare, preserving the
+	// zero-alloc issue path.
+	Prof *Profiler
 
 	mem      mem
 	allocOff uint32
@@ -185,6 +192,12 @@ type Metrics struct {
 	MSHRStallCycles    int64 // scheduler-cycles blocked on exhausted MSHRs
 	L2Hits, L2Misses   int64
 
+	// WarpCycles attributes every resident warp-cycle to a StallReason
+	// (index StallNone counts issue cycles). Populated only when a
+	// Profiler is attached to the Sim; all-zero otherwise, so existing
+	// outputs are unchanged when profiling is off.
+	WarpCycles [NumStallReasons]int64
+
 	HazardViolations []string
 }
 
@@ -291,6 +304,10 @@ func (s *Sim) Launch(k *cubin.Kernel, opts LaunchOpts) (*Metrics, error) {
 		SimSMs:     smCount,
 		Occupancy:  occ,
 	}
+	var coll *launchCollector
+	if s.Prof != nil {
+		coll = newLaunchCollector(s.Prof, k.Name, prog)
+	}
 	for smi := 0; smi < smCount; smi++ {
 		var blocks []int
 		if opts.SampleWaves > 0 {
@@ -312,12 +329,21 @@ func (s *Sim) Launch(k *cubin.Kernel, opts LaunchOpts) (*Metrics, error) {
 				blocks = append(blocks, b%gridBlocks)
 			}
 		}
-		inst := newSMSim(s, k, prog, consts, occ, blocks, opts.Grid, opts.GridY)
+		if coll != nil {
+			coll.beginSM(smi)
+		}
+		inst := newSMSim(s, k, prog, consts, occ, blocks, opts.Grid, opts.GridY, coll)
 		if err := inst.run(); err != nil {
 			return nil, fmt.Errorf("gpu: SM %d: %w", smi, err)
 		}
+		if coll != nil {
+			coll.endSM(inst.now, len(inst.scheds))
+		}
 		inst.fold(total)
 		inst.release()
+	}
+	if coll != nil {
+		s.Prof.Launches = append(s.Prof.Launches, coll.lp)
 	}
 	return total, nil
 }
@@ -342,6 +368,9 @@ type scheduler struct {
 	busyUntil    int64
 	fpBusyUntil  int64
 	intBusyUntil int64
+	// profLastIssueAt is the last cycle this slot issued; written only
+	// when a profiler is attached (-1 before the first issue).
+	profLastIssueAt int64
 }
 
 type smSim struct {
@@ -377,10 +406,14 @@ type smSim struct {
 	bwCycles     float64 // DRAM transfer cycles per 128-byte line, per-SM share
 	lineScratch  []uint32
 
+	// prof is the launch's profile collector, nil when profiling is off
+	// (the only state the hot-loop hooks test).
+	prof *launchCollector
+
 	m Metrics
 }
 
-func newSMSim(s *Sim, k *cubin.Kernel, prog *program, consts []uint32, occ Occupancy, blocks []int, gx, gy int) *smSim {
+func newSMSim(s *Sim, k *cubin.Kernel, prog *program, consts []uint32, occ Occupancy, blocks []int, gx, gy int, coll *launchCollector) *smSim {
 	dev := &s.Dev
 	perLine := float64(l2Line) / (dev.DRAMBandwidthGBs / dev.ClockGHz / float64(dev.SMs))
 	sm := &smSim{
@@ -402,6 +435,7 @@ func newSMSim(s *Sim, k *cubin.Kernel, prog *program, consts []uint32, occ Occup
 		lineScratch: s.scratch.lines[:0],
 		l2:          s.l2,
 		bwCycles:    perLine,
+		prof:        coll,
 	}
 	if sm.dispQ == nil {
 		sm.dispQ = make([]int64, 0, dev.MIOQueueDepth+1)
@@ -411,7 +445,7 @@ func newSMSim(s *Sim, k *cubin.Kernel, prog *program, consts []uint32, occ Occup
 	}
 	sm.scheds = make([]*scheduler, dev.SchedulersPerSM)
 	for i := range sm.scheds {
-		sm.scheds[i] = &scheduler{}
+		sm.scheds[i] = &scheduler{profLastIssueAt: -1}
 	}
 	for i := 0; i < occ.BlocksPerSM && len(sm.pending) > 0; i++ {
 		sm.loadBlock()
@@ -481,6 +515,9 @@ func (sm *smSim) loadBlock() {
 				w.regBar[i] = -1
 			}
 		}
+		if sm.prof != nil {
+			w.profIdx = sm.prof.addWarp(blkIdx, wi, sm.now)
+		}
 		blk.warps = append(blk.warps, w)
 		sched := sm.scheds[sm.warpSeq%len(sm.scheds)]
 		sched.warps = append(sched.warps, w)
@@ -512,6 +549,9 @@ func (sm *smSim) fold(t *Metrics) {
 	t.MSHRStallCycles += m.MSHRStallCycles
 	t.L2Hits += m.L2Hits
 	t.L2Misses += m.L2Misses
+	for i := range m.WarpCycles {
+		t.WarpCycles[i] += m.WarpCycles[i]
+	}
 	for _, v := range m.HazardViolations {
 		if len(t.HazardViolations) < maxViolations {
 			t.HazardViolations = append(t.HazardViolations, v)
@@ -534,6 +574,9 @@ func (sm *smSim) run() error {
 			issued = issued || ok
 		}
 		if issued {
+			if sm.prof != nil {
+				sm.profAccount(1)
+			}
 			sm.now++
 			idleGuard = 0
 			continue
@@ -548,6 +591,11 @@ func (sm *smSim) run() error {
 		}
 		if next <= sm.now {
 			next = sm.now + 1
+		}
+		// The skipped interval [now, next) has constant machine state, so
+		// one classification covers every cycle of it.
+		if sm.prof != nil {
+			sm.profAccount(next - sm.now)
 		}
 		sm.now = next
 		idleGuard++
@@ -769,6 +817,7 @@ func (sm *smSim) tryIssue(sc *scheduler) (bool, error) {
 }
 
 func (sm *smSim) issue(sc *scheduler, w *warp) error {
+	pc := w.pc
 	in := &sm.insts[w.pc]
 	mi := &sm.meta[w.pc]
 	w.pc++
@@ -786,6 +835,11 @@ func (sm *smSim) issue(sc *scheduler, w *warp) error {
 		return err
 	}
 	sm.m.Issued++
+	if sm.prof != nil {
+		sm.prof.noteIssue(w, pc, sm.now, res.exited)
+		sc.profLastIssueAt = sm.now
+		sm.m.WarpCycles[StallNone]++
+	}
 
 	if sm.sim.HazardCheck {
 		sm.checkHazards(w, in, mi)
@@ -989,6 +1043,9 @@ func (sm *smSim) issueMem(w *warp, in *sass.Inst, mi *instMeta, req *memRequest,
 		// Loads hold an MSHR until the data returns.
 		if req.load {
 			sm.globQ = append(sm.globQ, dataAt)
+			if sm.prof != nil {
+				sm.prof.noteLDG(sm.now, dataAt)
+			}
 		}
 	}
 

@@ -22,7 +22,15 @@ type ConvResult struct {
 // the compute-bound steady state) or strided across the grid (hot=false:
 // the L2 locality one SM of a fully loaded device sees).
 func RunConvSampled(dev gpu.Device, cfg Config, p Problem, sampleBlocks int, mainLoopOnly, hot bool) (*ConvResult, error) {
-	return runConv(dev, cfg, p, nil, nil, sampleBlocks, mainLoopOnly, false, hot)
+	return runConv(dev, cfg, p, nil, nil, sampleBlocks, mainLoopOnly, false, hot, nil)
+}
+
+// RunConvSampledProfiled is RunConvSampled with a profiler attached to
+// the simulator: prof collects one LaunchProfile for the filter
+// transform and one for the main kernel (in launch order). A nil prof
+// is identical to RunConvSampled.
+func RunConvSampledProfiled(dev gpu.Device, cfg Config, p Problem, sampleBlocks int, mainLoopOnly, hot bool, prof *gpu.Profiler) (*ConvResult, error) {
+	return runConv(dev, cfg, p, nil, nil, sampleBlocks, mainLoopOnly, false, hot, prof)
 }
 
 // RunConv executes the full Winograd convolution (filter-transform kernel
@@ -35,7 +43,7 @@ func RunConvSampled(dev gpu.Device, cfg Config, p Problem, sampleBlocks int, mai
 // transform, matching the paper's "main loop" measurements.
 func RunConv(dev gpu.Device, cfg Config, p Problem, in, flt *tensor.Tensor,
 	sampleBlocks int, mainLoopOnly bool, hazardCheck bool) (*ConvResult, error) {
-	return runConv(dev, cfg, p, in, flt, sampleBlocks, mainLoopOnly, hazardCheck, false)
+	return runConv(dev, cfg, p, in, flt, sampleBlocks, mainLoopOnly, hazardCheck, false, nil)
 }
 
 // runConv is safe for concurrent calls: every invocation allocates its
@@ -44,7 +52,7 @@ func RunConv(dev gpu.Device, cfg Config, p Problem, in, flt *tensor.Tensor,
 // kernels come from the process-wide generation cache and are shared
 // read-only (see gencache.go).
 func runConv(dev gpu.Device, cfg Config, p Problem, in, flt *tensor.Tensor,
-	sampleBlocks int, mainLoopOnly bool, hazardCheck bool, hot bool) (*ConvResult, error) {
+	sampleBlocks int, mainLoopOnly bool, hazardCheck bool, hot bool, prof *gpu.Profiler) (*ConvResult, error) {
 	cfg = cfg.withDefaults()
 	if err := p.Validate(cfg.BK); err != nil {
 		return nil, err
@@ -70,6 +78,7 @@ func runConv(dev gpu.Device, cfg Config, p Problem, in, flt *tensor.Tensor,
 
 	sim := gpu.NewSim(dev)
 	sim.HazardCheck = hazardCheck
+	sim.Prof = prof
 
 	// Device buffers. The input and transformed-filter buffers carry one
 	// extra iteration of slack: the software pipeline prefetches one
