@@ -3,6 +3,7 @@
 // Usage:
 //
 //	winograd-bench [-waves N] [-quick] [-markdown] [-jobs N] [-timings] [-prof] [experiment ...]
+//	winograd-bench [-waves N] [-quick] [-jobs N] [-budget N] [-tunecache PATH] [-device D] tune
 //
 // With no arguments it lists the available experiments; "all" runs the
 // whole evaluation in paper order. Experiment ids may be repeated and
@@ -10,6 +11,11 @@
 // paper order. Sample simulation is scheduled across -jobs workers with
 // cross-experiment deduplication; tables go to stdout (byte-identical
 // for any -jobs value), timings and scheduling stats to stderr.
+//
+// The `tune` subcommand searches the kernels.Config knob space per
+// ResNet layer on the simulator (statically pruned, budgeted by
+// -budget), persists measurements to the -tunecache JSON file, and
+// prints the tuned-vs-default report and per-layer algorithm selection.
 package main
 
 import (
@@ -39,6 +45,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation jobs (1 = sequential)")
 	timings := fs.Bool("timings", false, "print per-job timing detail to stderr")
 	profile := fs.Bool("prof", false, "profile every sample and add stall-breakdown columns where tables support them")
+	budget := fs.Int("budget", 12, "tune: max simulated candidate configs per layer (paper default always included)")
+	tuneCache := fs.String("tunecache", "", "tune: path of the persistent JSON tuning cache (empty = in-memory only)")
+	device := fs.String("device", "rtx2070", "tune: device to tune for (rtx2070 or v100)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -50,7 +59,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "  %-10s %s\n", e.ID, e.Title)
 		}
 		fmt.Fprintln(stdout, "  all        run everything in paper order")
+		fmt.Fprintln(stdout, "  tune       autotune per-layer configs and algorithm selection")
 		return 0
+	}
+
+	// `tune` is a subcommand, not an experiment: it owns its own sweep,
+	// cache, and tables, so it cannot be mixed with experiment ids.
+	if len(args) == 1 && args[0] == "tune" {
+		return runTune(tuneOpts{waves: *waves, quick: *quick, markdown: *markdown,
+			jobs: *jobs, budget: *budget, cache: *tuneCache, device: *device}, stdout, stderr)
 	}
 
 	// Resolve the selection: "all" may be mixed with explicit ids,

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/tune"
+)
+
+// tuneOpts carries the tune-subcommand flags out of run's flag set.
+type tuneOpts struct {
+	waves    int
+	quick    bool
+	markdown bool
+	jobs     int
+	budget   int
+	cache    string
+	device   string
+}
+
+// runTune is the `winograd-bench tune` subcommand: search the scheduling
+// knob space per ResNet layer on the simulator, persist measurements to
+// the JSON tuning cache, and print the tuned-vs-default report plus the
+// per-layer algorithm selection table. Tables go to stdout and are
+// byte-identical for any -jobs value and for cold versus warm caches;
+// cache warnings and scheduling stats go to stderr.
+func runTune(o tuneOpts, stdout, stderr io.Writer) int {
+	var dev gpu.Device
+	switch o.device {
+	case "rtx2070":
+		dev = gpu.RTX2070()
+	case "v100":
+		dev = gpu.V100()
+	default:
+		fmt.Fprintf(stderr, "unknown device %q (want rtx2070 or v100)\n", o.device)
+		return 2
+	}
+
+	cache := tune.NewCache()
+	if o.cache != "" {
+		var warns []string
+		cache, warns = tune.Load(o.cache)
+		for _, w := range warns {
+			fmt.Fprintln(stderr, w)
+		}
+	}
+
+	tuner := &tune.Tuner{Dev: dev, Budget: o.budget, Waves: o.waves, Workers: o.jobs}
+	start := time.Now()
+	results, stats, err := tuner.Tune(cache, tune.SweepCases(o.quick))
+	if err != nil {
+		fmt.Fprintf(stderr, "winograd-bench tune: %v\n", err)
+		return 1
+	}
+
+	for _, t := range []interface {
+		Format() string
+		Markdown() string
+	}{tune.Report(dev, results), tune.SelectionTable(dev, results)} {
+		if o.markdown {
+			fmt.Fprintln(stdout, t.Markdown())
+		} else {
+			fmt.Fprintln(stdout, t.Format())
+		}
+	}
+
+	if o.cache != "" {
+		if err := cache.Save(o.cache); err != nil {
+			fmt.Fprintf(stderr, "winograd-bench tune: saving cache: %v\n", err)
+			return 1
+		}
+	}
+
+	simulated := 0
+	for _, r := range results {
+		simulated += r.Simulated
+	}
+	fmt.Fprintf(stderr, "tuned %d layers on %s: %d candidates simulated this run, %d cached total, in %v on %d workers\n",
+		len(results), dev.Name, simulated, cache.Len(),
+		time.Since(start).Round(time.Millisecond), stats.Workers)
+	return 0
+}

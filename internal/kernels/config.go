@@ -57,7 +57,8 @@ func CuDNNLike() Config {
 
 // Key renders the configuration as a canonical cache key. Defaults are
 // applied first, so two spellings of the same effective configuration
-// (e.g. LDGGap 0 and LDGGap 8) share one key, while any two configs that
+// (e.g. LDGGap 0 and LDGGap 8, or a bk=64 DeclaredSmem at or below the
+// layout's actual 48 KB) share one key, while any two configs that
 // generate different kernels never collide: every knob — BK, YieldEvery,
 // LDGGap, STSGap, UseP2R, DeclaredSmem — appears as its own
 // unambiguously delimited field.
@@ -67,6 +68,36 @@ func (c Config) Key() string {
 		c.BK, c.YieldEvery, c.LDGGap, c.STSGap, c.UseP2R, c.DeclaredSmem)
 }
 
+// Canonical returns the configuration with defaults applied and
+// equivalent spellings collapsed — the representative its Key()
+// describes. Callers that store or compare configurations (the tuner's
+// cache, selection tables) should canonicalize first so one kernel has
+// one spelling.
+func (c Config) Canonical() Config { return c.withDefaults() }
+
+// actualSmemBytes is the shared memory the bk-blocked layout really uses
+// (layoutFor's smemActual, duplicated here as plain data so Config
+// canonicalization does not depend on constructing a layout).
+func actualSmemBytes(bk int) int {
+	if bk == 32 {
+		return 32 * 1024
+	}
+	return 48 * 1024
+}
+
+// withDefaults maps each knob's zero value to the paper configuration it
+// denotes and canonicalizes spellings that generate the identical kernel
+// onto one representative:
+//
+//   - BK, LDGGap, STSGap: zero means the paper default (64 / 8 / 6).
+//   - YieldEvery is NOT defaulted: its zero value is itself meaningful
+//     (the paper's "Natural" strategy — never clear the yield flag), so
+//     an unset knob and an explicit 0 are the same configuration by
+//     construction and can never collide with a distinct one.
+//   - DeclaredSmem at or below the layout's actual requirement is
+//     canonicalized to 0 ("use the layout's requirement"): the generator
+//     declares max(actual, DeclaredSmem), so such spellings emit
+//     byte-identical kernels and must share a cache key.
 func (c Config) withDefaults() Config {
 	if c.BK == 0 {
 		c.BK = 64
@@ -77,19 +108,65 @@ func (c Config) withDefaults() Config {
 	if c.STSGap == 0 {
 		c.STSGap = 6
 	}
+	if (c.BK == 64 || c.BK == 32) && c.DeclaredSmem > 0 && c.DeclaredSmem <= actualSmemBytes(c.BK) {
+		c.DeclaredSmem = 0
+	}
 	return c
 }
 
-// Validate rejects unsupported configurations.
+// MaxDeclaredSmem is the largest shared-memory declaration a kernel may
+// carry: the 48 KB static allocation limit the paper's devices enforce
+// per block (cuDNN's kernel declares exactly this much).
+const MaxDeclaredSmem = 48 * 1024
+
+// Validate rejects nonsensical configurations up front, before any of
+// them can fail deep inside generation, lint, or the simulator:
+//
+//   - BK must be one of the two blockings the generator implements.
+//   - YieldEvery must be non-negative and at most 32 (the strategies the
+//     emitter's float counter can express within one EWMM step).
+//   - LDGGap must be a positive power of two at most 32: the LDG stream
+//     is rewoven every loop iteration, so a non-divisor of the 128-FFMA
+//     step would drift across step boundaries instead of holding the
+//     configured spacing.
+//   - STSGap must be in [1, 16]: the store phase has 32 float
+//     instructions to weave through, so wider gaps cannot space even two
+//     stores and silently degrade to a trailing flush.
+//   - DeclaredSmem must be non-negative and at most the 48 KB per-block
+//     limit.
 func (c Config) Validate() error {
 	c = c.withDefaults()
 	if c.BK != 64 && c.BK != 32 {
 		return fmt.Errorf("kernels: BK must be 64 or 32, got %d", c.BK)
 	}
-	if c.LDGGap < 1 || c.STSGap < 1 {
-		return fmt.Errorf("kernels: gaps must be positive")
+	if c.YieldEvery < 0 || c.YieldEvery > 32 {
+		return fmt.Errorf("kernels: YieldEvery must be in [0, 32] (0 = Natural), got %d", c.YieldEvery)
+	}
+	if c.LDGGap < 1 || c.LDGGap > 32 || c.LDGGap&(c.LDGGap-1) != 0 {
+		return fmt.Errorf("kernels: LDGGap must be a power of two in [1, 32] (a divisor of the 128-FFMA step), got %d", c.LDGGap)
+	}
+	if c.STSGap < 1 || c.STSGap > 16 {
+		return fmt.Errorf("kernels: STSGap must be in [1, 16], got %d", c.STSGap)
+	}
+	if c.DeclaredSmem < 0 || c.DeclaredSmem > MaxDeclaredSmem {
+		return fmt.Errorf("kernels: DeclaredSmem must be in [0, %d], got %d", MaxDeclaredSmem, c.DeclaredSmem)
 	}
 	return nil
+}
+
+// Footprint returns the per-thread register count and per-block shared
+// memory Generate would declare for c — the occupancy inputs — without
+// paying for generation. The shared-memory figure honours DeclaredSmem
+// the way the generator does (the declaration is the max of the layout's
+// actual requirement and the override).
+func (c Config) Footprint() (regs, smemBytes int) {
+	c = c.withDefaults()
+	lay := layoutFor(c.BK)
+	smem := lay.smemActual
+	if c.DeclaredSmem > smem {
+		smem = c.DeclaredSmem
+	}
+	return lay.regs, smem
 }
 
 // Problem is a batched 3x3 convolution shape (stride 1, pad 1 — the

@@ -25,15 +25,20 @@ func TestConfigKeyDistinct(t *testing.T) {
 		}
 	}
 	seen := map[string]Config{}
+	uniq := map[Config]bool{}
 	for _, c := range cfgs {
 		k := c.Key()
 		if prev, ok := seen[k]; ok && prev.withDefaults() != c.withDefaults() {
 			t.Fatalf("distinct configs collide on key %q:\n%+v\n%+v", k, prev, c)
 		}
 		seen[k] = c
+		uniq[c.withDefaults()] = true
 	}
-	if len(seen) != len(cfgs) {
-		t.Fatalf("grid of %d distinct configs produced %d keys", len(cfgs), len(seen))
+	// Canonically distinct configs must all get their own key; spellings
+	// that canonicalize together (bk=64 with DeclaredSmem at the layout's
+	// own 48 KB) are supposed to share one.
+	if len(seen) != len(uniq) {
+		t.Fatalf("grid of %d canonical configs produced %d keys", len(uniq), len(seen))
 	}
 }
 
@@ -43,12 +48,11 @@ func TestConfigKeyDistinct(t *testing.T) {
 func TestConfigKeyRoundTripsEveryKnob(t *testing.T) {
 	base := Ours()
 	mutations := map[string]func(*Config){
-		"BK":           func(c *Config) { c.BK = 32 },
-		"YieldEvery":   func(c *Config) { c.YieldEvery = 7 },
-		"LDGGap":       func(c *Config) { c.LDGGap = 2 },
-		"STSGap":       func(c *Config) { c.STSGap = 2 },
-		"UseP2R":       func(c *Config) { c.UseP2R = !c.UseP2R },
-		"DeclaredSmem": func(c *Config) { c.DeclaredSmem = 48 * 1024 },
+		"BK":         func(c *Config) { c.BK = 32 },
+		"YieldEvery": func(c *Config) { c.YieldEvery = 7 },
+		"LDGGap":     func(c *Config) { c.LDGGap = 2 },
+		"STSGap":     func(c *Config) { c.STSGap = 2 },
+		"UseP2R":     func(c *Config) { c.UseP2R = !c.UseP2R },
 	}
 	for knob, mutate := range mutations {
 		c := base
@@ -56,6 +60,40 @@ func TestConfigKeyRoundTripsEveryKnob(t *testing.T) {
 		if c.Key() == base.Key() {
 			t.Errorf("changing %s does not change the key %q", knob, base.Key())
 		}
+	}
+	// DeclaredSmem only changes the emitted kernel when it exceeds the
+	// layout's actual requirement (48 KB for bk=64, 32 KB for bk=32), so
+	// its round-trip is checked on the bk=32 layout, where headroom
+	// exists; on bk=64 a 48 KB declaration IS the layout's own and must
+	// canonicalize away instead.
+	a := Config{BK: 32, UseP2R: true}
+	b := a
+	b.DeclaredSmem = 48 * 1024
+	if a.Key() == b.Key() {
+		t.Errorf("changing DeclaredSmem on bk=32 does not change the key %q", a.Key())
+	}
+	c := base
+	c.DeclaredSmem = 48 * 1024
+	if c.Key() != base.Key() {
+		t.Errorf("bk=64 DeclaredSmem at the layout's own 48 KB must share the default key: %q vs %q",
+			c.Key(), base.Key())
+	}
+}
+
+// TestYieldZeroIsNatural pins the zero-means-Natural contract: YieldEvery
+// is deliberately not defaulted in withDefaults, so an unset knob and an
+// explicit 0 are one configuration by construction, and neither can ever
+// collide with a real clearing interval.
+func TestYieldZeroIsNatural(t *testing.T) {
+	unset := Config{BK: 64, LDGGap: 8, STSGap: 6, UseP2R: true}
+	natural := Ours() // spells YieldEvery: 0 explicitly
+	if unset.Key() != natural.Key() {
+		t.Fatalf("unset YieldEvery and explicit 0 must share a key:\n%q\n%q", unset.Key(), natural.Key())
+	}
+	every7 := natural
+	every7.YieldEvery = 7
+	if every7.Key() == natural.Key() {
+		t.Fatalf("YieldEvery 7 collides with Natural on key %q", natural.Key())
 	}
 }
 
@@ -71,6 +109,95 @@ func TestConfigKeyCanonical(t *testing.T) {
 		if !strings.Contains(zero.Key(), want) {
 			t.Errorf("key %q missing field %q", zero.Key(), want)
 		}
+	}
+}
+
+// TestValidateRejections exercises every Validate rule with a knob value
+// it must reject, plus the known-good configurations it must accept.
+func TestValidateRejections(t *testing.T) {
+	bad := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"BK outside {32,64}", func(c *Config) { c.BK = 48 }},
+		{"negative BK", func(c *Config) { c.BK = -64 }},
+		{"negative YieldEvery", func(c *Config) { c.YieldEvery = -1 }},
+		{"oversized YieldEvery", func(c *Config) { c.YieldEvery = 33 }},
+		{"negative LDGGap", func(c *Config) { c.LDGGap = -2 }},
+		{"non-power-of-two LDGGap", func(c *Config) { c.LDGGap = 3 }},
+		{"oversized LDGGap", func(c *Config) { c.LDGGap = 64 }},
+		{"negative STSGap", func(c *Config) { c.STSGap = -1 }},
+		{"oversized STSGap", func(c *Config) { c.STSGap = 17 }},
+		{"negative DeclaredSmem", func(c *Config) { c.DeclaredSmem = -1 }},
+		{"DeclaredSmem above 48KB", func(c *Config) { c.DeclaredSmem = MaxDeclaredSmem + 1 }},
+	}
+	for _, tc := range bad {
+		c := Ours()
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, c)
+		}
+	}
+	good := []Config{{}, Ours(), CuDNNLike(),
+		{BK: 32, YieldEvery: 32, LDGGap: 1, STSGap: 16, DeclaredSmem: MaxDeclaredSmem}}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate rejected the valid config %+v: %v", c, err)
+		}
+	}
+}
+
+// TestConfigKeySourceAgreement sweeps a lattice over every knob and checks
+// the cache-key contract both ways against the generator itself: two
+// configs share a key exactly when they emit byte-identical SASS. A key
+// collision across different kernels would silently reuse the wrong
+// simulation; distinct keys for one kernel would duplicate work the
+// tuner's cache exists to avoid.
+func TestConfigKeySourceAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates ~100 kernel sources")
+	}
+	p := Problem{C: 8, K: 64, N: 32, H: 4, W: 4}
+	var cfgs []Config
+	for _, bk := range []int{32, 64} {
+		for _, yield := range []int{0, 7} {
+			for _, ldg := range []int{2, 8} {
+				for _, sts := range []int{2, 6} {
+					for _, p2r := range []bool{false, true} {
+						for _, smem := range []int{0, 33 * 1024, 48 * 1024} {
+							cfgs = append(cfgs, Config{BK: bk, YieldEvery: yield,
+								LDGGap: ldg, STSGap: sts, UseP2R: p2r, DeclaredSmem: smem})
+						}
+					}
+				}
+			}
+		}
+	}
+	keyToSrc := map[string]string{}
+	srcToKey := map[string]string{}
+	for _, c := range cfgs {
+		src, err := Source(c, p, true)
+		if err != nil {
+			t.Fatalf("Source(%+v): %v", c, err)
+		}
+		k := c.Key()
+		if prev, ok := keyToSrc[k]; ok {
+			if prev != src {
+				t.Fatalf("key %q maps to two different kernels (config %+v)", k, c)
+			}
+		} else {
+			keyToSrc[k] = src
+		}
+		if prev, ok := srcToKey[src]; ok {
+			if prev != k {
+				t.Fatalf("one kernel has two keys %q and %q (config %+v)", prev, k, c)
+			}
+		} else {
+			srcToKey[src] = k
+		}
+	}
+	if len(keyToSrc) != len(srcToKey) {
+		t.Fatalf("%d keys for %d distinct kernels", len(keyToSrc), len(srcToKey))
 	}
 }
 

@@ -235,3 +235,35 @@ func TestWorkspaceScalesLinearlyWithBatch(t *testing.T) {
 		}
 	}
 }
+
+func TestFusedFilterTrafficRatioSeparatesRegimes(t *testing.T) {
+	// Conv5N32: 16*512/(32*7*7) ~ 5.2 — the transformed filter dominates
+	// the output traffic; Conv2N32: 16*64/(32*56*56) ~ 0.01 — negligible.
+	if r := FusedFilterTrafficRatio(conv5(32)); math.Abs(r-16*512.0/(32*7*7)) > 1e-12 || r < 1 {
+		t.Fatalf("Conv5N32 ratio = %v, want ~5.2 (>1)", r)
+	}
+	if r := FusedFilterTrafficRatio(conv2(32)); r > 0.1 {
+		t.Fatalf("Conv2N32 ratio = %v, want << 1", r)
+	}
+	// The ratio falls with batch: at N=128 Conv5 is four times less
+	// filter-bound than at N=32.
+	if FusedFilterTrafficRatio(conv5(128)) >= FusedFilterTrafficRatio(conv5(32)) {
+		t.Fatal("filter-traffic ratio must fall with batch")
+	}
+}
+
+func TestDRAMBoundClassification(t *testing.T) {
+	for _, dev := range []gpu.Device{gpu.RTX2070(), gpu.V100()} {
+		for n := 32; n <= 128; n += 32 {
+			if !DRAMBound(conv5(n), dev) {
+				t.Errorf("%s: Conv5 N=%d should classify DRAM-bound", dev.Name, n)
+			}
+			if DRAMBound(conv2(n), dev) {
+				t.Errorf("%s: Conv2 N=%d should classify compute-bound", dev.Name, n)
+			}
+			if DRAMBound(conv3(n), dev) {
+				t.Errorf("%s: Conv3 N=%d should classify compute-bound", dev.Name, n)
+			}
+		}
+	}
+}

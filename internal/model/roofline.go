@@ -59,3 +59,35 @@ func gemmAI(bk int) float64 {
 	bytes := float64(bk+bn) * bc * 16 * 4
 	return flops / bytes
 }
+
+// FusedAI is the fused kernel's whole-problem arithmetic intensity
+// against compulsory DRAM traffic: direct-equivalent FLOPs over the
+// input image, the output image, and the 16*C*K transformed filter. It
+// separates the regimes of EXPERIMENTS.md note 2 — ResNet Conv2-4 land
+// in the tens of ops/byte (compute-bound), while Conv5's 7x7 images
+// under a 512x512 filter drop it towards the ridge.
+func FusedAI(s Shape) float64 {
+	in := 4 * float64(s.N) * float64(s.C) * float64(s.H) * float64(s.W)
+	out := 4 * float64(s.N) * float64(s.K) * float64(s.H) * float64(s.W)
+	flt := 4 * 16 * float64(s.C) * float64(s.K)
+	return s.FLOPs() / (in + out + flt)
+}
+
+// FusedFilterTrafficRatio is the transformed-filter bytes the fused
+// kernel must stream per output byte: 16*C / (N*H*W). Below 1 the filter
+// rides along with the images (Conv2N32 ~ 0.01); above 1 it dominates
+// DRAM traffic (Conv5N32 ~ 5.2) and the layer behaves memory-latency
+// bound — the regime where EXPERIMENTS.md note 2 measures the LDG
+// ordering inverting. The tuner uses this as its DRAM-bound classifier.
+func FusedFilterTrafficRatio(s Shape) float64 {
+	return 16 * float64(s.C) / (float64(s.N) * float64(s.H) * float64(s.W))
+}
+
+// DRAMBound reports whether the fused kernel on s is limited by memory
+// rather than the FP32 pipe on dev: its arithmetic intensity sits left
+// of the device ridge, or the transformed filter outweighs the output
+// traffic (the Conv5 signature).
+func DRAMBound(s Shape, dev gpu.Device) bool {
+	ridge := dev.PeakFP32TFLOPS() / (dev.DRAMBandwidthGBs / 1000)
+	return FusedAI(s) < ridge || FusedFilterTrafficRatio(s) > 1
+}

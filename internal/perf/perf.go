@@ -33,6 +33,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/kernels"
 	"repro/internal/tensor"
+	"repro/internal/tune"
 	"repro/internal/turingas"
 	"repro/internal/winograd"
 )
@@ -63,6 +64,27 @@ func Benchmarks() []Benchmark {
 		{"turingas/assemble", benchAssemble},
 		{"kernels/source", benchKernelSource},
 		{"winograd/conv2d", benchWinogradConv2D},
+		{"tune/staticprune", benchTuneStaticPrune},
+	}
+}
+
+// benchTuneStaticPrune measures the autotuner's static planning path —
+// knob-space enumeration plus roofline ranking — which every tune run
+// pays per layer before any simulation. Deliberately absent from the
+// committed BENCH_sim.json until the next baseline refresh: it is the
+// live demonstration that -perfdiff reports new targets as unbaselined
+// warnings instead of chicken-and-egg failures.
+func benchTuneStaticPrune(b *testing.B) {
+	dev := gpu.RTX2070()
+	space := tune.DefaultSpace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var stats tune.PruneStats
+		kept := tune.StaticPrune(dev, perfProblem, space.Enumerate(), 12, &stats)
+		if len(kept) == 0 {
+			b.Fatal("static prune kept nothing")
+		}
 	}
 }
 
@@ -308,8 +330,11 @@ func (r *Report) find(name string) *Result {
 //   - Allocations: allocs/op may exceed the baseline by at most allocTol
 //     plus an absolute slack of 2 (runtime-internal noise on tiny counts).
 //   - A benchmark present in the baseline but missing from cur is a
-//     failure; new benchmarks in cur are ignored (they gate once they are
-//     committed to the baseline).
+//     failure; benchmarks new in cur are NOT failures — Unbaselined
+//     reports them as warnings, and they gate once committed to the
+//     baseline. (Failing on them would make it impossible to add a
+//     target and its baseline in one PR: the gate runs before the
+//     refreshed BENCH_sim.json exists.)
 func Compare(base, cur *Report, timeTol, allocTol float64) []string {
 	var msgs []string
 	scale := 1.0
@@ -335,6 +360,24 @@ func Compare(base, cur *Report, timeTol, allocTol float64) []string {
 		if float64(c.AllocsPerOp) > allocLimit {
 			msgs = append(msgs, fmt.Sprintf("%s: %d allocs/op exceeds baseline %d by more than %.0f%%+2",
 				b.Name, c.AllocsPerOp, b.AllocsPerOp, allocTol*100))
+		}
+	}
+	return msgs
+}
+
+// Unbaselined lists benchmarks measured in cur that the baseline has no
+// entry for — targets added since BENCH_sim.json was last refreshed.
+// These are warnings, not gate failures: the target starts gating on the
+// first baseline refresh that includes it.
+func Unbaselined(base, cur *Report) []string {
+	var msgs []string
+	for i := range cur.Results {
+		c := &cur.Results[i]
+		if c.Name == CalibrationName {
+			continue
+		}
+		if base.find(c.Name) == nil {
+			msgs = append(msgs, fmt.Sprintf("%s: unbaselined (not in the committed baseline yet; refresh with -benchjson to start gating it)", c.Name))
 		}
 	}
 	return msgs

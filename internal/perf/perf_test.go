@@ -2,6 +2,7 @@ package perf
 
 import (
 	"flag"
+	"strings"
 	"testing"
 )
 
@@ -64,6 +65,11 @@ func TestPerfDiff(t *testing.T) {
 	for _, m := range Compare(base, cur, *timeTol, *allocTol) {
 		t.Error(m)
 	}
+	// Targets added since the baseline was refreshed warn instead of
+	// failing, so a new benchmark and its baseline can land in one PR.
+	for _, m := range Unbaselined(base, cur) {
+		t.Logf("warning: %s", m)
+	}
 	for _, c := range cur.Results {
 		if b := base.find(c.Name); b != nil {
 			t.Logf("%-20s %12.0f ns/op (baseline %12.0f)  %4d allocs/op (baseline %4d)",
@@ -103,5 +109,31 @@ func TestCompare(t *testing.T) {
 	cur.Results[1].NsPerOp = 1200
 	if msgs := Compare(base, cur, 0.10, 0.10); len(msgs) != 1 {
 		t.Fatalf("want 1 timing regression, got %v", msgs)
+	}
+}
+
+// TestUnbaselined pins the warn-don't-fail contract for new targets: a
+// benchmark measured now but absent from the baseline shows up in
+// Unbaselined (and only there — Compare must not fail on it), while the
+// calibration anchor never warns.
+func TestUnbaselined(t *testing.T) {
+	base := &Report{Schema: "bench_sim/v1", Results: []Result{
+		{Name: CalibrationName, NsPerOp: 1000},
+		{Name: "sim/mainloop", NsPerOp: 500},
+	}}
+	cur := &Report{Schema: "bench_sim/v1", Results: []Result{
+		{Name: CalibrationName, NsPerOp: 1000},
+		{Name: "sim/mainloop", NsPerOp: 500},
+		{Name: "tune/staticprune", NsPerOp: 50},
+	}}
+	if msgs := Compare(base, cur, 0.10, 0.10); len(msgs) != 0 {
+		t.Fatalf("a new target must not fail the gate, got %v", msgs)
+	}
+	warns := Unbaselined(base, cur)
+	if len(warns) != 1 || !strings.Contains(warns[0], "tune/staticprune") {
+		t.Fatalf("want one unbaselined warning for tune/staticprune, got %v", warns)
+	}
+	if warns := Unbaselined(base, base); len(warns) != 0 {
+		t.Fatalf("identical reports must not warn, got %v", warns)
 	}
 }

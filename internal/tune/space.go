@@ -1,0 +1,94 @@
+// Package tune is the autotuning layer between the kernel generator and
+// a usable library. The paper hand-picks one schedule (bk=64, Natural
+// yield, LDG8/STS6) and shows in Section 6 that the best knobs depend on
+// whether a layer is compute- or DRAM-bound; real stacks resolve this
+// with search (cuDNN's algorithm finder). tune searches the
+// kernels.Config knob space per problem shape on the simulator: static
+// pruning with the roofline and the SASS verifier first, then the
+// survivors through the bench job graph, results persisted to a
+// versioned JSON cache, and a per-layer chooser (Select) that arbitrates
+// the tuned fused kernel against the analytic GEMM and non-fused
+// Winograd models the way cudnnGetConvolutionForwardAlgorithm does.
+package tune
+
+import (
+	"sort"
+
+	"repro/internal/kernels"
+)
+
+// Space is the searched knob lattice. Every combination is expanded,
+// canonicalized, validated, and deduplicated by Enumerate; an empty
+// dimension means "only the paper default for that knob".
+type Space struct {
+	BK           []int
+	YieldEvery   []int
+	LDGGap       []int
+	STSGap       []int
+	UseP2R       []bool
+	DeclaredSmem []int
+}
+
+// DefaultSpace covers the paper's Section 6 study points on every knob:
+// both cache blockings, the three yield strategies, the Figure 8/9
+// LDG/STS spacings, P2R on/off, and cuDNN's full-48 KB shared-memory
+// declaration next to the layout's own.
+func DefaultSpace() Space {
+	return Space{
+		BK:           []int{64, 32},
+		YieldEvery:   []int{0, 7, 8},
+		LDGGap:       []int{2, 4, 8},
+		STSGap:       []int{2, 4, 6},
+		UseP2R:       []bool{true, false},
+		DeclaredSmem: []int{0, 48 * 1024},
+	}
+}
+
+func orDefault(vals []int, def int) []int {
+	if len(vals) == 0 {
+		return []int{def}
+	}
+	return vals
+}
+
+// Enumerate expands the space into canonical, valid, deduplicated
+// configurations, sorted by cache key — a deterministic candidate list
+// whatever order the dimensions were spelled in. Spellings that
+// canonicalize to one kernel (a bk=64 DeclaredSmem at the layout's own
+// 48 KB) collapse to a single candidate; invalid combinations are
+// dropped here rather than failing deep in generation.
+func (s Space) Enumerate() []kernels.Config {
+	p2rs := s.UseP2R
+	if len(p2rs) == 0 {
+		p2rs = []bool{true}
+	}
+	smems := s.DeclaredSmem
+	if len(smems) == 0 {
+		smems = []int{0}
+	}
+	seen := map[string]bool{}
+	var out []kernels.Config
+	for _, bk := range orDefault(s.BK, 64) {
+		for _, yield := range orDefault(s.YieldEvery, 0) {
+			for _, ldg := range orDefault(s.LDGGap, 8) {
+				for _, sts := range orDefault(s.STSGap, 6) {
+					for _, p2r := range p2rs {
+						for _, smem := range smems {
+							c := kernels.Config{BK: bk, YieldEvery: yield, LDGGap: ldg,
+								STSGap: sts, UseP2R: p2r, DeclaredSmem: smem}.Canonical()
+							if c.Validate() != nil {
+								continue
+							}
+							if k := c.Key(); !seen[k] {
+								seen[k] = true
+								out = append(out, c)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
