@@ -44,7 +44,15 @@ func main() {
 	verify := flag.Bool("verify", false, "run a reduced problem fully and verify against CPU reference")
 	profFlag := flag.Bool("prof", false, "print stall-attribution reports with annotated SASS listings")
 	trace := flag.String("trace", "", "write the main kernel's warp timeline as a Chrome trace to this file (implies -prof)")
+	backendFlag := flag.String("backend", "threaded", "simulator execution backend (threaded or switch; bit-identical results)")
+	simWorkers := flag.Int("simworkers", 0, "worker goroutines per sharded full-grid simulation (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	be, err := gpu.ParseBackend(*backendFlag)
+	if err != nil {
+		fatal(err)
+	}
+	simOpts := kernels.SimOpts{Backend: be, Workers: *simWorkers}
 
 	var dev gpu.Device
 	switch *devName {
@@ -83,7 +91,9 @@ func main() {
 		in.FillRandom(1)
 		flt := tensor.NewFilter(tensor.CRSK, tensor.FilterShape{K: p.K, C: p.C, R: 3, S: 3})
 		flt.FillRandom(2)
-		res, err := kernels.RunConv(dev, cfg, p, in, flt, 0, false, true)
+		res, err := kernels.RunConvWith(dev, cfg, p, kernels.ConvOpts{
+			In: in, Flt: flt, HazardCheck: true, Sim: simOpts,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -105,6 +115,7 @@ func main() {
 	ctx.Waves = *waves
 	ctx.Profile = *profFlag || *trace != ""
 	ctx.ProfileTimeline = *trace != ""
+	ctx.Sim = simOpts
 	s, err := ctx.KernelSample(dev, cfg, p, *mainloop)
 	if err != nil {
 		fatal(err)

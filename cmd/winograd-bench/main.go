@@ -27,6 +27,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/gpu"
+	"repro/internal/kernels"
 )
 
 func main() {
@@ -45,10 +47,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation jobs (1 = sequential)")
 	timings := fs.Bool("timings", false, "print per-job timing detail to stderr")
 	profile := fs.Bool("prof", false, "profile every sample and add stall-breakdown columns where tables support them")
+	backend := fs.String("backend", "threaded", "simulator execution backend (threaded or switch; bit-identical results)")
+	simWorkers := fs.Int("simworkers", 0, "worker goroutines per sharded full-grid simulation (0 = GOMAXPROCS)")
 	budget := fs.Int("budget", 12, "tune: max simulated candidate configs per layer (paper default always included)")
 	tuneCache := fs.String("tunecache", "", "tune: path of the persistent JSON tuning cache (empty = in-memory only)")
 	device := fs.String("device", "rtx2070", "tune: device to tune for (rtx2070 or v100)")
 	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	be, err := gpu.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintf(stderr, "winograd-bench: %v\n", err)
 		return 2
 	}
 
@@ -109,6 +118,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	ctx.Waves = *waves
 	ctx.Quick = *quick
 	ctx.Profile = *profile
+	ctx.Sim = kernels.SimOpts{Backend: be, Workers: *simWorkers}
 
 	runner := &bench.Runner{Ctx: ctx, Workers: *jobs}
 	start := time.Now()

@@ -32,6 +32,10 @@ type Ctx struct {
 	// ProfileTimeline additionally records per-warp interval events and
 	// LDG spans (needed for Chrome traces; more memory per sample).
 	ProfileTimeline bool
+	// Sim selects the simulator execution engine (backend and sharding
+	// workers). Backends and worker counts are bit-identical by contract,
+	// so samples are cached without regard to it.
+	Sim kernels.SimOpts
 
 	mu    sync.Mutex
 	cache map[string]*sampleEntry
@@ -129,7 +133,10 @@ func (c *Ctx) simulate(j Job) (*Sample, error) {
 		prof = gpu.NewProfiler()
 		prof.Timeline = c.ProfileTimeline
 	}
-	res, err := kernels.RunConvSampledProfiled(j.Dev, j.Cfg, j.P, occ.BlocksPerSM*c.waves(), j.MainOnly, j.Hot, prof)
+	res, err := kernels.RunConvWith(j.Dev, j.Cfg, j.P, kernels.ConvOpts{
+		SampleBlocks: occ.BlocksPerSM * c.waves(),
+		MainLoopOnly: j.MainOnly, Hot: j.Hot, Prof: prof, Sim: c.Sim,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,48 @@
+package gpu
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestShardedSteadyStateAllocs pins the threaded backend's steady-state
+// allocation contract: after one warm-up launch, repeated sharded
+// launches on a reused Sim allocate nothing — the instance pools, launch
+// plans, shard result slots, and worker L2 clones all recycle. The same
+// contract is pinned in the committed perf baseline (sim/steadystate).
+func TestShardedSteadyStateAllocs(t *testing.T) {
+	k := assemble(t, saxpySrc)
+	const blocks = 16
+	const words = blocks * 32
+	for _, workers := range []int{1, 4} {
+		s := NewSim(RTX2070())
+		s.Workers = workers
+		x := s.Alloc(4 * words)
+		y := s.Alloc(4 * words)
+		opts := LaunchOpts{
+			Grid: blocks, Block: 32,
+			Params:  []uint32{x.Addr, y.Addr, f32ToBits(0.5), 32},
+			Sharded: true,
+		}
+		var m Metrics
+		if err := s.LaunchM(k, opts, &m); err != nil {
+			t.Fatal(err)
+		}
+		avg := testing.AllocsPerRun(20, func() {
+			if err := s.LaunchM(k, opts, &m); err != nil {
+				t.Fatal(err)
+			}
+			// wg.Wait returns when the workers' counter hits zero, which
+			// happens in a defer before their goroutines actually exit.
+			// Yield so they reach goexit and their g-structs recycle;
+			// otherwise the next launch's spawn races them and the
+			// runtime — not the simulator — allocates a fresh g.
+			for i := 0; i < 4; i++ {
+				runtime.Gosched()
+			}
+		})
+		if avg != 0 {
+			t.Errorf("workers=%d: %v allocs per sharded launch, want 0", workers, avg)
+		}
+	}
+}

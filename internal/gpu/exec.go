@@ -28,6 +28,11 @@ type warp struct {
 	nextIssue  int64
 	atBar      bool
 	barPending [6]int // outstanding dependency-barrier counts
+	// barMask mirrors barPending as a bitmask (bit b set iff
+	// barPending[b] > 0), maintained at every increment/decrement so the
+	// threaded backend's eligibility check is one AND against the
+	// instruction's baked wait mask instead of a six-barrier loop.
+	barMask uint8
 
 	// Operand reuse cache: regs latched by the previous instruction's
 	// reuse flags; valid only while this warp keeps the scheduler slot.
@@ -50,6 +55,13 @@ type warp struct {
 	// profIdx is this warp's index into the launch profile's warp table;
 	// set on block load and meaningful only while a profiler is attached.
 	profIdx int
+}
+
+// barInc takes one dependency barrier, keeping the barMask mirror in
+// step (the matching decrement is in fireEvents).
+func (w *warp) barInc(b int8) {
+	w.barPending[b]++
+	w.barMask |= 1 << uint(b)
 }
 
 // quiescent reports whether the warp has no outstanding dependency-barrier

@@ -96,6 +96,23 @@ func (c *l2cache) access(addr uint32) bool {
 	return false
 }
 
+// newL2Like returns an empty cache with the same geometry as src, for
+// the Sharded launch path's snapshot/clone buffers.
+func newL2Like(src *l2cache) *l2cache {
+	return &l2cache{
+		sets:  src.sets,
+		tags:  make([]uint32, len(src.tags)),
+		order: make([]uint8, len(src.order)),
+	}
+}
+
+// copyFrom overwrites the cache with src's full state. Both caches must
+// share a geometry (newL2Like guarantees it).
+func (c *l2cache) copyFrom(src *l2cache) {
+	copy(c.tags, src.tags)
+	copy(c.order, src.order)
+}
+
 func (c *l2cache) touch(base, way int) {
 	// Age-stamp scheme: bump the touched way to max; renormalize on
 	// overflow.

@@ -406,6 +406,52 @@ func (c *launchCollector) flushEvent(st *warpState) {
 	c.lp.Events = append(c.lp.Events, st.ev)
 }
 
+// merge folds one Sharded instance's part collector into this master
+// collector. Parts are merged in instance order, which reproduces the
+// sequential collection exactly: counters are integer sums (or a max for
+// Cycles), warp tables concatenate in instance order with timeline warp
+// indices remapped, and the span/event caps are applied at merge time —
+// exact because every part individually retains at least the prefix the
+// merged stream needs (each part's cap equals the global cap).
+func (c *launchCollector) merge(part *launchCollector) {
+	lp, pp := c.lp, part.lp
+	lp.SimSMs += pp.SimSMs
+	if pp.Cycles > lp.Cycles {
+		lp.Cycles = pp.Cycles
+	}
+	lp.SchedCycles += pp.SchedCycles
+	lp.IssuedSlots += pp.IssuedSlots
+	for r := range pp.SlotStalls {
+		lp.SlotStalls[r] += pp.SlotStalls[r]
+	}
+	for pc := range pp.PerInst {
+		dst, src := &lp.PerInst[pc], &pp.PerInst[pc]
+		dst.Issues += src.Issues
+		for r := range src.Stalls {
+			dst.Stalls[r] += src.Stalls[r]
+		}
+	}
+	base := len(lp.Warps)
+	lp.Warps = append(lp.Warps, pp.Warps...)
+	for _, sp := range pp.LDGSpans {
+		if len(lp.LDGSpans) >= c.maxSpans {
+			lp.DroppedSpans++
+			continue
+		}
+		lp.LDGSpans = append(lp.LDGSpans, sp)
+	}
+	lp.DroppedSpans += pp.DroppedSpans
+	for _, e := range pp.Events {
+		if len(lp.Events) >= c.maxEvents {
+			lp.DroppedEvents++
+			continue
+		}
+		e.Warp += base
+		lp.Events = append(lp.Events, e)
+	}
+	lp.DroppedEvents += pp.DroppedEvents
+}
+
 // mioBlocked is the collector's read-only twin of mioSlotFree: it counts
 // live queue entries without pruning, so classification never mutates
 // simulator state. Returns 0 free, 1 dispatch queue full, 2 MSHRs

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/cubin"
@@ -238,5 +239,60 @@ func TestProfileEventCap(t *testing.T) {
 	}
 	if len(lp.LDGSpans) > 1 || lp.DroppedSpans == 0 {
 		t.Fatalf("spans %d (cap 1), dropped %d", len(lp.LDGSpans), lp.DroppedSpans)
+	}
+}
+
+// TestProfileReconciliationSharded asserts the accounting identities hold
+// exactly on the sharded multi-SM path: per-instance collectors merged in
+// instance order must keep every warp-cycle in exactly one bucket, agree
+// with the per-pc and slot-level books, and produce the same attribution
+// at any worker count.
+func TestProfileReconciliationSharded(t *testing.T) {
+	k := assemble(t, saxpySrc)
+	const blocks = 64
+	const words = blocks * 32
+
+	run := func(workers int) (*LaunchProfile, *Metrics) {
+		prof := NewProfiler()
+		prof.Timeline = true
+		s := NewSim(RTX2070())
+		s.Workers = workers
+		s.Prof = prof
+		x := s.Alloc(4 * words)
+		y := s.Alloc(4 * words)
+		xs := make([]float32, words)
+		for i := range xs {
+			xs[i] = float32(i % 97)
+		}
+		s.WriteF32(x.Addr, xs)
+		s.WriteF32(y.Addr, xs)
+		var m Metrics
+		err := s.LaunchM(k, LaunchOpts{
+			Grid: blocks, Block: 32,
+			Params:  []uint32{x.Addr, y.Addr, f32ToBits(0.5), words},
+			Sharded: true,
+		}, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prof.Last(), &m
+	}
+
+	lp1, m1 := run(1)
+	checkReconciles(t, lp1, m1)
+	checkTimeline(t, lp1)
+
+	lp4, m4 := run(4)
+	checkReconciles(t, lp4, m4)
+	checkTimeline(t, lp4)
+
+	if !reflect.DeepEqual(m4, m1) {
+		t.Errorf("metrics diverge across worker counts:\n w4=%+v\n w1=%+v", m4, m1)
+	}
+	if !reflect.DeepEqual(lp4.PerInst, lp1.PerInst) {
+		t.Errorf("per-pc attribution diverges across worker counts")
+	}
+	if !reflect.DeepEqual(lp4.Warps, lp1.Warps) {
+		t.Errorf("per-warp profiles diverge across worker counts")
 	}
 }

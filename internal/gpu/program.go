@@ -37,12 +37,58 @@ type instMeta struct {
 	dstRegs []sass.Reg
 }
 
+// progBlock is one basic block of a decoded kernel: the half-open pc
+// range [start, end). Blocks are ended by control flow (BRA, EXIT), by
+// barriers (BAR — the warp parks, so the chain cannot run past it), and
+// by branch targets (a label starts a new block). The threaded-code
+// backend pre-resolves one flat chain of handler funcs per block; the
+// chains are laid out back to back in program.nodes, so nodes[start:end]
+// is block's chain.
+type progBlock struct {
+	start, end int
+}
+
+// node is one pre-resolved element of a basic block's handler chain: the
+// typed execute handler for the instruction's exact shape plus every
+// piece of per-instruction metadata the issue path consults, baked at
+// decode time so the threaded hot loop never switches on the opcode or
+// chases control-code fields. Immutable and shared like the rest of the
+// program.
+type node struct {
+	fn handlerFn
+	// Scheduling metadata (mirrors sass.Ctrl / instMeta, pre-extracted).
+	class    uint8
+	isLDG    bool
+	isFFMA   bool
+	yield    bool
+	waitMask uint8
+	reuse    uint8
+	writeBar int8
+	readBar  int8
+	stall    int64 // max(Ctrl.Stall, 1)
+	intLat   int64
+	braOfs   int // pc delta of a uniform BRA
+	// mayBank gates the dynamic register-bank-conflict check: false when
+	// the static (no-reuse) live source set can never put three reads in
+	// one bank, which is exact because operand reuse only shrinks the set.
+	mayBank bool
+	// reuseRegs is the operand-reuse latch image this instruction leaves
+	// behind when its reuse flags are set (Rs1 slot pre-blanked for
+	// immediate/constant operands).
+	reuseRegs [3]sass.Reg
+	in        *sass.Inst
+	mi        *instMeta
+}
+
 // program is one decoded, pre-analyzed kernel: the instruction slice, the
-// per-pc metadata, and the highest register index the code touches. It is
+// per-pc metadata, the basic-block partition with its threaded-code
+// handler chains, and the highest register index the code touches. It is
 // immutable after construction and shared by all concurrent Sims.
 type program struct {
-	insts []sass.Inst
-	meta  []instMeta
+	insts  []sass.Inst
+	meta   []instMeta
+	nodes  []node
+	blocks []progBlock
 	// maxRegUsed is the architectural register-array size the code
 	// requires (minimum 16), regardless of the declared NumRegs.
 	maxRegUsed int
@@ -75,10 +121,17 @@ func decodedPrograms() int {
 }
 
 // decodeProgram returns the cached decoded program for k, building it at
-// most once per kernel.
+// most once per kernel. The Load fast path keeps cache hits — every
+// steady-state Launch — allocation-free; only a kernel's first Launch
+// takes the LoadOrStore path that may allocate the entry.
 func decodeProgram(k *cubin.Kernel) (*program, error) {
-	v, _ := progCache.LoadOrStore(k, &progEntry{})
-	e := v.(*progEntry)
+	var e *progEntry
+	if v, ok := progCache.Load(k); ok {
+		e = v.(*progEntry)
+	} else {
+		v, _ := progCache.LoadOrStore(k, &progEntry{})
+		e = v.(*progEntry)
+	}
 	e.once.Do(func() { e.p, e.err = buildProgram(k) })
 	return e.p, e.err
 }
@@ -120,5 +173,111 @@ func buildProgram(k *cubin.Kernel) (*program, error) {
 			}
 		}
 	}
+	buildBlocks(p)
+	buildNodes(p)
 	return p, nil
+}
+
+// buildBlocks partitions the instruction stream into basic blocks:
+// control flow (BRA, EXIT) and barriers (BAR) end a block, and every
+// branch target starts one.
+func buildBlocks(p *program) {
+	n := len(p.insts)
+	if n == 0 {
+		return
+	}
+	starts := make([]bool, n+1)
+	starts[0] = true
+	for pc := range p.insts {
+		in := &p.insts[pc]
+		switch in.Op {
+		case sass.OpBRA:
+			if t := pc + 1 + int(int32(in.Imm)); t >= 0 && t < n {
+				starts[t] = true
+			}
+			starts[pc+1] = true
+		case sass.OpEXIT, sass.OpBAR:
+			starts[pc+1] = true
+		}
+	}
+	begin := 0
+	for pc := 1; pc <= n; pc++ {
+		if pc == n || starts[pc] {
+			p.blocks = append(p.blocks, progBlock{start: begin, end: pc})
+			begin = pc
+		}
+	}
+}
+
+// buildNodes pre-resolves the per-block handler chains: one node per
+// instruction, handler selected for the instruction's exact shape with
+// all scheduling metadata extracted from the control code.
+func buildNodes(p *program) {
+	p.nodes = make([]node, len(p.insts))
+	for pc := range p.insts {
+		in := &p.insts[pc]
+		mi := &p.meta[pc]
+		nd := &p.nodes[pc]
+		nd.class = mi.class
+		nd.isLDG = mi.isLDG
+		nd.isFFMA = in.Op == sass.OpFFMA
+		nd.yield = in.Ctrl.Yield
+		nd.waitMask = in.Ctrl.WaitMask
+		nd.reuse = in.Ctrl.Reuse
+		nd.writeBar = in.Ctrl.WriteBar
+		nd.readBar = in.Ctrl.ReadBar
+		nd.stall = int64(in.Ctrl.Stall)
+		if nd.stall < 1 {
+			nd.stall = 1
+		}
+		nd.intLat = mi.intLat
+		if in.Op == sass.OpBRA {
+			nd.braOfs = int(int32(in.Imm))
+		}
+		if mi.class == classFP {
+			nd.mayBank = mayBankConflict(in)
+		}
+		nd.reuseRegs = [3]sass.Reg{in.Rs0, in.Rs1, in.Rs2}
+		if in.SrcMode != sass.SrcReg {
+			nd.reuseRegs[1] = sass.RZ
+		}
+		nd.in = in
+		nd.mi = mi
+		nd.fn = selectHandler(in, mi)
+	}
+}
+
+// mayBankConflict reports whether the instruction's static live source
+// set — three distinct non-RZ register reads, all with the same index
+// parity — permits a register-bank conflict at all. Operand reuse only
+// removes reads, so a static false is exact: the dynamic check in
+// regBankConflict can never return true for this instruction.
+func mayBankConflict(in *sass.Inst) bool {
+	slots := [3]sass.Reg{in.Rs0, sass.RZ, in.Rs2}
+	if in.SrcMode == sass.SrcReg {
+		slots[1] = in.Rs1
+	}
+	var live [3]sass.Reg
+	n := 0
+	for _, r := range slots {
+		if r == sass.RZ {
+			continue
+		}
+		dup := false
+		for _, e := range live[:n] {
+			if e == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			live[n] = r
+			n++
+		}
+	}
+	if n < 3 {
+		return false
+	}
+	parity := live[0] & 1
+	return live[1]&1 == parity && live[2]&1 == parity
 }

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -89,5 +90,49 @@ func TestWarpPoolDeterminism(t *testing.T) {
 				t.Fatalf("round %d: out[%d] = %v, want %v", round, i, got[i], data[31-i])
 			}
 		}
+	}
+}
+
+// TestBlockPartition pins the basic-block partition rules the threaded
+// backend's chains are built on: BRA, EXIT, and BAR end a block, every
+// branch target starts one, and the blocks tile the instruction stream
+// exactly (nodes[start:end] is a block's full handler chain).
+func TestBlockPartition(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []progBlock
+	}{
+		// Straight-line kernel with one barrier: the BAR at pc 6 ends
+		// the first block.
+		{"barrier", reverseSrc, []progBlock{{0, 7}, {7, 14}}},
+		// Backward loop: the BRA at pc 5 ends its block and its target
+		// (pc 2) starts one, splitting the loop preamble off.
+		{"loop", loopSrc, []progBlock{{0, 2}, {2, 6}, {6, 12}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := assemble(t, tc.src)
+			p, err := buildProgram(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(p.blocks, tc.want) {
+				t.Fatalf("blocks = %v, want %v", p.blocks, tc.want)
+			}
+			// The partition must tile [0, len(insts)) with no gaps and
+			// one chain node per instruction.
+			prev := 0
+			for i, b := range p.blocks {
+				if b.start != prev || b.end <= b.start {
+					t.Fatalf("block %d = %v does not tile the stream", i, b)
+				}
+				prev = b.end
+			}
+			if prev != len(p.insts) || len(p.nodes) != len(p.insts) {
+				t.Fatalf("partition covers [0,%d), nodes %d, want %d insts",
+					prev, len(p.nodes), len(p.insts))
+			}
+		})
 	}
 }

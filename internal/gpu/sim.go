@@ -42,27 +42,48 @@ type Sim struct {
 	// every hook reduces to one pointer compare, preserving the
 	// zero-alloc issue path.
 	Prof *Profiler
+	// Backend selects the per-instruction execution engine (see
+	// backend.go). The zero value is the threaded-code backend;
+	// BackendSwitch keeps the original decode-dispatch interpreter as the
+	// differential oracle. Both produce bit-identical results.
+	Backend Backend
+	// Workers bounds the goroutine pool used for Sharded launches
+	// (0 = GOMAXPROCS). Results are identical at any worker count.
+	Workers int
 
 	mem      mem
 	allocOff uint32
 	l2       *l2cache
 
-	// Per-Sim recycling pools, reused across blocks and launches so the
-	// steady-state hot loop allocates nothing: retired warps (with their
-	// operand arrays) and shared-memory images return here, and the MIO
-	// queue and line-coalescing scratch buffers are handed to each SM
-	// instance in turn. Serialized by the single-Sim contract above.
-	warpPool []*warp
-	smemPool [][]uint32
-	scratch  smScratch
+	// pools is the Sim's per-instance recycling pool set (warps, shared
+	// memory images, block states, scratch queues, and the SM-instance
+	// shell), reused across blocks and launches so the steady-state hot
+	// loop allocates nothing. Sharded launches give each worker its own
+	// simPools. Serialized by the single-Sim contract above.
+	pools simPools
+
+	// Launch-scoped reusable buffers: the constant bank image and the
+	// per-instance block lists (planLists slices into planInts), rebuilt
+	// on every Launch without allocating in steady state.
+	constsBuf []uint32
+	planInts  []int
+	planLists [][]int
+	// shard carries the state of a Sharded launch (worker pools,
+	// per-instance results, L2 snapshots); see backend.go.
+	shard shardState
 }
 
 // smScratch is the reusable per-SM-instance buffer set. SM instances
-// within a Launch run sequentially, so one set serves them all.
+// sharing one simPools run sequentially, so one set serves them all.
 type smScratch struct {
 	dispQ, globQ []int64
 	events       []event
 	lines        []uint32
+	// smemStamp/smemGen are the shared-memory dedup stamp table (see
+	// smemServiceFast). The generation survives pooling so stale stamps
+	// can never collide with a fresh instance's generations.
+	smemStamp []uint32
+	smemGen   uint32
 }
 
 // NewSim creates a simulator for the given device model.
@@ -86,10 +107,10 @@ func NewSim(dev Device) *Sim {
 
 // getWarp returns a zeroed warp with an operand array of nregs registers,
 // recycling a retired one when possible.
-func (s *Sim) getWarp(nregs int) *warp {
-	if n := len(s.warpPool); n > 0 {
-		w := s.warpPool[n-1]
-		s.warpPool = s.warpPool[:n-1]
+func (p *simPools) getWarp(nregs int) *warp {
+	if n := len(p.warpPool); n > 0 {
+		w := p.warpPool[n-1]
+		p.warpPool = p.warpPool[:n-1]
 		regs, ready, bar, barRegs := w.regs, w.regReadyAt, w.regBar, w.barRegs
 		*w = warp{}
 		if cap(regs) >= nregs {
@@ -112,10 +133,10 @@ func (s *Sim) getWarp(nregs int) *warp {
 }
 
 // getSmem returns a zeroed shared-memory image of the given word count.
-func (s *Sim) getSmem(words int) []uint32 {
-	if n := len(s.smemPool); n > 0 {
-		sm := s.smemPool[n-1]
-		s.smemPool = s.smemPool[:n-1]
+func (p *simPools) getSmem(words int) []uint32 {
+	if n := len(p.smemPool); n > 0 {
+		sm := p.smemPool[n-1]
+		p.smemPool = p.smemPool[:n-1]
 		if cap(sm) >= words {
 			sm = sm[:words]
 			for i := range sm {
@@ -125,6 +146,19 @@ func (s *Sim) getSmem(words int) []uint32 {
 		}
 	}
 	return make([]uint32, words)
+}
+
+// getBlock returns a reset blockState, recycling a retired one.
+func (p *simPools) getBlock() *blockState {
+	if n := len(p.blockPool); n > 0 {
+		blk := p.blockPool[n-1]
+		p.blockPool = p.blockPool[:n-1]
+		blk.warps = blk.warps[:0]
+		blk.barWait = 0
+		blk.doneWarp = 0
+		return blk
+	}
+	return &blockState{}
 }
 
 // LaunchOpts configures one kernel launch.
@@ -160,6 +194,19 @@ type LaunchOpts struct {
 	// constructive L2 sharing between concurrently resident blocks.
 	// Overrides MaxBlocks/OneSM when set.
 	SampleWaves, SampleSMs int
+	// Sharded makes the launch's SM instances independent so they can run
+	// in parallel on Sim.Workers goroutines: every instance starts from a
+	// private snapshot of the launch-entry L2 state (instead of chaining
+	// L2 state through the sequential instance order), and the exit L2
+	// state is the final state of the last instance. Results are identical
+	// at any worker count by construction. Functional results (memory
+	// contents) are unchanged; timing differs slightly from a non-Sharded
+	// launch because inter-instance L2 chaining — itself an artifact of
+	// sequential simulation — is removed. Incompatible with wave sampling
+	// (SampleWaves > 0), whose instances deliberately share one L2 model.
+	// Sharded instances may not grow global memory: stores beyond the
+	// allocated watermark are reported as errors instead of racing.
+	Sharded bool
 }
 
 // Metrics aggregates counters over all simulated SM instances.
@@ -240,6 +287,16 @@ const (
 
 // Launch runs a kernel and returns aggregated metrics.
 func (s *Sim) Launch(k *cubin.Kernel, opts LaunchOpts) (*Metrics, error) {
+	m := new(Metrics)
+	if err := s.LaunchM(k, opts, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LaunchM is Launch with a caller-owned Metrics: the steady-state
+// allocation-free entry point. *total is overwritten.
+func (s *Sim) LaunchM(k *cubin.Kernel, opts LaunchOpts, total *Metrics) error {
 	if opts.GridY <= 0 {
 		opts.GridY = 1
 	}
@@ -247,25 +304,35 @@ func (s *Sim) Launch(k *cubin.Kernel, opts LaunchOpts) (*Metrics, error) {
 		opts.GridZ = 1
 	}
 	if opts.Grid <= 0 {
-		return nil, fmt.Errorf("gpu: grid must be positive")
+		return fmt.Errorf("gpu: grid must be positive")
 	}
 	if opts.Block <= 0 || opts.Block%32 != 0 {
-		return nil, fmt.Errorf("gpu: block size %d is not a positive multiple of 32", opts.Block)
+		return fmt.Errorf("gpu: block size %d is not a positive multiple of 32", opts.Block)
+	}
+	if opts.Sharded && opts.SampleWaves > 0 {
+		return fmt.Errorf("gpu: Sharded launches are incompatible with wave sampling (instances share one L2 model)")
 	}
 	prog, err := decodeProgram(k)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	occ, err := s.Dev.OccupancyFor(opts.Block, k.NumRegs, k.SmemBytes)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(opts.Params)*4 > k.ParamBytes && k.ParamBytes > 0 {
-		return nil, fmt.Errorf("gpu: %d param bytes passed, kernel declares %d", len(opts.Params)*4, k.ParamBytes)
+		return fmt.Errorf("gpu: %d param bytes passed, kernel declares %d", len(opts.Params)*4, k.ParamBytes)
 	}
 
 	// Constant bank 0: [0]=gridDim.x, [1]=blockDim.x, then params at 0x160.
-	consts := make([]uint32, cubin.ParamBase/4+len(opts.Params))
+	nConsts := cubin.ParamBase/4 + len(opts.Params)
+	if cap(s.constsBuf) < nConsts {
+		s.constsBuf = make([]uint32, nConsts)
+	}
+	consts := s.constsBuf[:nConsts]
+	for i := range consts {
+		consts[i] = 0
+	}
 	consts[0] = uint32(opts.Grid)
 	consts[1] = uint32(opts.Block)
 	copy(consts[cubin.ParamBase/4:], opts.Params)
@@ -296,20 +363,20 @@ func (s *Sim) Launch(k *cubin.Kernel, opts LaunchOpts) (*Metrics, error) {
 		simBlocks = smCount * opts.SampleWaves * occ.BlocksPerSM
 	}
 
-	total := &Metrics{
-		Device:     s.Dev.Name,
-		Kernel:     k.Name,
-		GridBlocks: opts.Grid,
-		SimBlocks:  simBlocks,
-		SimSMs:     smCount,
-		Occupancy:  occ,
+	// Build the launch plan — every instance's block list — up front into
+	// the pooled buffers. The total entry count is exactly simBlocks, so
+	// with capacity ensured the appends below never reallocate and the
+	// planLists slices stay valid.
+	if cap(s.planInts) < simBlocks {
+		s.planInts = make([]int, 0, simBlocks)
 	}
-	var coll *launchCollector
-	if s.Prof != nil {
-		coll = newLaunchCollector(s.Prof, k.Name, prog)
+	if cap(s.planLists) < smCount {
+		s.planLists = make([][]int, 0, smCount)
 	}
+	ints := s.planInts[:0]
+	lists := s.planLists[:0]
 	for smi := 0; smi < smCount; smi++ {
-		var blocks []int
+		start := len(ints)
 		if opts.SampleWaves > 0 {
 			// Wave sampling: this instance plays SM number
 			// smi*(SMs/smCount) of each device wave.
@@ -321,20 +388,55 @@ func (s *Sim) Launch(k *cubin.Kernel, opts LaunchOpts) (*Metrics, error) {
 			for w := 0; w < opts.SampleWaves; w++ {
 				base := w*waveSize + smi*smSpread*occ.BlocksPerSM
 				for j := 0; j < occ.BlocksPerSM; j++ {
-					blocks = append(blocks, (base+j)%gridBlocks)
+					ints = append(ints, (base+j)%gridBlocks)
 				}
 			}
 		} else {
-			for b := smi; len(blocks) < (simBlocks+smCount-1-smi)/smCount; b += smCount * stride {
-				blocks = append(blocks, b%gridBlocks)
+			for b := smi; len(ints)-start < (simBlocks+smCount-1-smi)/smCount; b += smCount * stride {
+				ints = append(ints, b%gridBlocks)
 			}
 		}
+		lists = append(lists, ints[start:len(ints)])
+	}
+	s.planInts, s.planLists = ints, lists
+
+	*total = Metrics{
+		Device:     s.Dev.Name,
+		Kernel:     k.Name,
+		GridBlocks: opts.Grid,
+		SimBlocks:  simBlocks,
+		SimSMs:     smCount,
+		Occupancy:  occ,
+	}
+
+	lc := &s.shard.lc
+	*lc = launchCtx{
+		dev:    &s.Dev,
+		gmem:   &s.mem,
+		kern:   k,
+		prog:   prog,
+		consts: consts,
+		occ:    occ,
+		gridX:  opts.Grid,
+		gridY:  opts.GridY,
+		hazard: s.HazardCheck,
+	}
+	if opts.Sharded {
+		lc.memLimit = len(s.mem.data)
+		return s.launchSharded(total, k.Name, lists)
+	}
+
+	var coll *launchCollector
+	if s.Prof != nil {
+		coll = newLaunchCollector(s.Prof, k.Name, prog)
+	}
+	for smi, blocks := range lists {
 		if coll != nil {
 			coll.beginSM(smi)
 		}
-		inst := newSMSim(s, k, prog, consts, occ, blocks, opts.Grid, opts.GridY, coll)
-		if err := inst.run(); err != nil {
-			return nil, fmt.Errorf("gpu: SM %d: %w", smi, err)
+		inst := lc.newInstance(&s.pools, blocks, s.l2, coll)
+		if err := inst.runBackend(s.Backend); err != nil {
+			return fmt.Errorf("gpu: SM %d: %w", smi, err)
 		}
 		if coll != nil {
 			coll.endSM(inst.now, len(inst.scheds))
@@ -345,7 +447,7 @@ func (s *Sim) Launch(k *cubin.Kernel, opts LaunchOpts) (*Metrics, error) {
 	if coll != nil {
 		s.Prof.Launches = append(s.Prof.Launches, coll.lp)
 	}
-	return total, nil
+	return nil
 }
 
 // event kinds for the SM event queue.
@@ -373,14 +475,38 @@ type scheduler struct {
 	profLastIssueAt int64
 }
 
-type smSim struct {
-	sim    *Sim
+// launchCtx is the launch-invariant context shared by every SM instance
+// of one Launch: read-only while instances run, so Sharded workers can
+// consume it concurrently.
+type launchCtx struct {
 	dev    *Device
+	gmem   *mem
+	kern   *cubin.Kernel
+	prog   *program
+	consts []uint32
+	occ    Occupancy
+	gridX  int
+	gridY  int
+	hazard bool
+	// memLimit, when positive, bounds global stores (in words): Sharded
+	// instances must not grow the shared memory image, so a store beyond
+	// the allocation watermark is an error instead of a data race.
+	memLimit int
+}
+
+type smSim struct {
+	dev    *Device
+	gmem   *mem
 	kern   *cubin.Kernel
 	insts  []sass.Inst
 	meta   []instMeta
+	nodes  []node
 	prog   *program
 	consts []uint32
+	pools  *simPools
+
+	hazard   bool
+	memLimit int
 
 	occ          Occupancy
 	gridX, gridY int
@@ -405,6 +531,8 @@ type smSim struct {
 	l2           *l2cache
 	bwCycles     float64 // DRAM transfer cycles per 128-byte line, per-SM share
 	lineScratch  []uint32
+	smemStamp    []uint32
+	smemGen      uint32
 
 	// prof is the launch's profile collector, nil when profiling is off
 	// (the only state the hot-loop hooks test).
@@ -413,27 +541,42 @@ type smSim struct {
 	m Metrics
 }
 
-func newSMSim(s *Sim, k *cubin.Kernel, prog *program, consts []uint32, occ Occupancy, blocks []int, gx, gy int, coll *launchCollector) *smSim {
-	dev := &s.Dev
+// newInstance builds one SM instance on the given pool set, reusing the
+// pool's instance shell and scheduler objects so the steady state
+// allocates nothing.
+func (lc *launchCtx) newInstance(pools *simPools, blocks []int, l2 *l2cache, coll *launchCollector) *smSim {
+	dev := lc.dev
 	perLine := float64(l2Line) / (dev.DRAMBandwidthGBs / dev.ClockGHz / float64(dev.SMs))
-	sm := &smSim{
-		sim:         s,
+	sm := pools.shell
+	if sm == nil {
+		sm = &smSim{}
+		pools.shell = sm
+	}
+	scheds := sm.scheds
+	*sm = smSim{
 		dev:         dev,
-		kern:        k,
-		insts:       prog.insts,
-		meta:        prog.meta,
-		prog:        prog,
-		consts:      consts,
-		occ:         occ,
-		gridX:       gx,
-		gridY:       gy,
+		gmem:        lc.gmem,
+		kern:        lc.kern,
+		insts:       lc.prog.insts,
+		meta:        lc.prog.meta,
+		nodes:       lc.prog.nodes,
+		prog:        lc.prog,
+		consts:      lc.consts,
+		pools:       pools,
+		hazard:      lc.hazard,
+		memLimit:    lc.memLimit,
+		occ:         lc.occ,
+		gridX:       lc.gridX,
+		gridY:       lc.gridY,
 		pending:     blocks,
 		nextEventAt: math.MaxInt64,
-		dispQ:       s.scratch.dispQ[:0],
-		globQ:       s.scratch.globQ[:0],
-		events:      s.scratch.events[:0],
-		lineScratch: s.scratch.lines[:0],
-		l2:          s.l2,
+		dispQ:       pools.scratch.dispQ[:0],
+		globQ:       pools.scratch.globQ[:0],
+		events:      pools.scratch.events[:0],
+		lineScratch: pools.scratch.lines[:0],
+		smemStamp:   pools.scratch.smemStamp,
+		smemGen:     pools.scratch.smemGen,
+		l2:          l2,
 		bwCycles:    perLine,
 		prof:        coll,
 	}
@@ -443,25 +586,39 @@ func newSMSim(s *Sim, k *cubin.Kernel, prog *program, consts []uint32, occ Occup
 	if sm.globQ == nil {
 		sm.globQ = make([]int64, 0, dev.MSHRs+1)
 	}
-	sm.scheds = make([]*scheduler, dev.SchedulersPerSM)
-	for i := range sm.scheds {
-		sm.scheds[i] = &scheduler{profLastIssueAt: -1}
+	if len(scheds) != dev.SchedulersPerSM {
+		scheds = make([]*scheduler, dev.SchedulersPerSM)
+		for i := range scheds {
+			scheds[i] = &scheduler{profLastIssueAt: -1}
+		}
+	} else {
+		for _, sc := range scheds {
+			*sc = scheduler{warps: sc.warps[:0], profLastIssueAt: -1}
+		}
 	}
-	for i := 0; i < occ.BlocksPerSM && len(sm.pending) > 0; i++ {
+	sm.scheds = scheds
+	for i := 0; i < lc.occ.BlocksPerSM && len(sm.pending) > 0; i++ {
 		sm.loadBlock()
 	}
 	return sm
 }
 
-// release hands the instance's scratch buffers back to the Sim for the
-// next SM instance or launch.
+// release hands the instance's scratch buffers back to its pool set for
+// the next SM instance or launch, and recycles warps that were still
+// awaiting a dependency-barrier release when their block retired: the
+// run is over, so no event can touch them anymore.
 func (sm *smSim) release() {
-	sm.sim.scratch = smScratch{
-		dispQ:  sm.dispQ[:0],
-		globQ:  sm.globQ[:0],
-		events: sm.events[:0],
-		lines:  sm.lineScratch[:0],
+	p := sm.pools
+	p.scratch = smScratch{
+		dispQ:     sm.dispQ[:0],
+		globQ:     sm.globQ[:0],
+		events:    sm.events[:0],
+		lines:     sm.lineScratch[:0],
+		smemStamp: sm.smemStamp,
+		smemGen:   sm.smemGen,
 	}
+	p.warpPool = append(p.warpPool, p.parked...)
+	p.parked = p.parked[:0]
 }
 
 // loadBlock makes the next pending block resident and spreads its warps
@@ -472,15 +629,14 @@ func (sm *smSim) loadBlock() {
 	sm.resident++
 	threads := int(sm.consts[1])
 	nw := threads / warpSize
-	blk := &blockState{
-		blockIdx: blkIdx,
-		ctaid: [3]int{
-			blkIdx % sm.gridX,
-			(blkIdx / sm.gridX) % sm.gridY,
-			blkIdx / (sm.gridX * sm.gridY),
-		},
-		smem: sm.sim.getSmem((sm.kern.SmemBytes + 3) / 4),
+	blk := sm.pools.getBlock()
+	blk.blockIdx = blkIdx
+	blk.ctaid = [3]int{
+		blkIdx % sm.gridX,
+		(blkIdx / sm.gridX) % sm.gridY,
+		blkIdx / (sm.gridX * sm.gridY),
 	}
+	blk.smem = sm.pools.getSmem((sm.kern.SmemBytes + 3) / 4)
 	// Size the architectural register array from the code itself: the
 	// declared NumRegs governs occupancy, but a kernel that touches a
 	// register above its declaration (modelling a baseline whose real
@@ -493,9 +649,9 @@ func (sm *smSim) loadBlock() {
 	if regs < 16 {
 		regs = 16
 	}
-	hazard := sm.sim.HazardCheck
+	hazard := sm.hazard
 	for wi := 0; wi < nw; wi++ {
-		w := sm.sim.getWarp(regs + 4)
+		w := sm.pools.getWarp(regs + 4)
 		w.idx = wi
 		w.global = sm.warpSeq
 		w.block = blk
@@ -527,11 +683,18 @@ func (sm *smSim) loadBlock() {
 
 // fold adds this SM's counters into the launch totals.
 func (sm *smSim) fold(t *Metrics) {
-	m := &sm.m
-	if sm.now > t.Cycles {
-		t.Cycles = sm.now
+	foldMetrics(t, &sm.m, sm.now, len(sm.scheds))
+}
+
+// foldMetrics folds one SM instance's counters into the launch totals.
+// It is shared by the sequential path (fold) and the Sharded merge,
+// which replays instances in instance order so the totals are identical
+// at any worker count (integer sums commute; Cycles is a max).
+func foldMetrics(t, m *Metrics, now int64, nscheds int) {
+	if now > t.Cycles {
+		t.Cycles = now
 	}
-	t.SchedCycles += sm.now * int64(len(sm.scheds))
+	t.SchedCycles += now * int64(nscheds)
 	t.Issued += m.Issued
 	t.FFMAs += m.FFMAs
 	t.FPIssued += m.FPIssued
@@ -662,12 +825,15 @@ func (sm *smSim) fireEvents() {
 		case evBarRelease:
 			w := e.warp
 			w.barPending[e.bar]--
-			if w.barPending[e.bar] == 0 && sm.sim.HazardCheck {
-				for _, r := range w.barRegs[e.bar] {
-					w.regBar[r] = -1
-					w.regReadyAt[r] = 0
+			if w.barPending[e.bar] == 0 {
+				w.barMask &^= 1 << uint(e.bar)
+				if sm.hazard {
+					for _, r := range w.barRegs[e.bar] {
+						w.regBar[r] = -1
+						w.regReadyAt[r] = 0
+					}
+					w.barRegs[e.bar] = w.barRegs[e.bar][:0]
 				}
-				w.barRegs[e.bar] = w.barRegs[e.bar][:0]
 			}
 		case evBlockLoad:
 			if len(sm.pending) > 0 {
@@ -841,7 +1007,7 @@ func (sm *smSim) issue(sc *scheduler, w *warp) error {
 		sm.m.WarpCycles[StallNone]++
 	}
 
-	if sm.sim.HazardCheck {
+	if sm.hazard {
 		sm.checkHazards(w, in, mi)
 	}
 
@@ -875,7 +1041,7 @@ func (sm *smSim) issue(sc *scheduler, w *warp) error {
 		lat := mi.intLat
 		sm.noteFixedWrite(w, mi, lat)
 		if in.Ctrl.WriteBar >= 0 {
-			w.barPending[in.Ctrl.WriteBar]++
+			w.barInc(in.Ctrl.WriteBar)
 			sm.addEvent(event{at: base + lat, kind: evBarRelease, warp: w, bar: in.Ctrl.WriteBar})
 		}
 	case classMem:
@@ -885,38 +1051,9 @@ func (sm *smSim) issue(sc *scheduler, w *warp) error {
 	default:
 		switch {
 		case res.barrier:
-			blk := w.block
-			w.atBar = true
-			blk.barWait++
-			if blk.barWait >= len(blk.warps)-blk.doneWarp {
-				blk.barWait = 0
-				for _, bw := range blk.warps {
-					if bw.atBar {
-						bw.atBar = false
-						if t := sm.now + barLatency; t > bw.nextIssue {
-							bw.nextIssue = t
-						}
-					}
-				}
-			}
+			sm.warpBarrier(w)
 		case res.exited:
-			w.done = true
-			blk := w.block
-			blk.doneWarp++
-			if blk.doneWarp == len(blk.warps) {
-				sm.retireBlock(blk)
-			} else if blk.barWait > 0 && blk.barWait >= len(blk.warps)-blk.doneWarp {
-				// The exit may satisfy a barrier the other warps wait at.
-				blk.barWait = 0
-				for _, bw := range blk.warps {
-					if bw.atBar {
-						bw.atBar = false
-						if t := sm.now + barLatency; t > bw.nextIssue {
-							bw.nextIssue = t
-						}
-					}
-				}
-			}
+			sm.warpExit(w)
 		}
 	}
 
@@ -941,11 +1078,55 @@ func (sm *smSim) issue(sc *scheduler, w *warp) error {
 	return nil
 }
 
+// warpBarrier parks a warp at BAR.SYNC, releasing the whole block when it
+// is the last arrival. Shared by both execution backends.
+func (sm *smSim) warpBarrier(w *warp) {
+	blk := w.block
+	w.atBar = true
+	// Parked warps carry an infinite nextIssue so the issue scan rejects
+	// them with the same single compare that covers stalled warps;
+	// releaseBarrier restores the real wake time (always now+barLatency:
+	// the pre-park nextIssue is at most issue time + 15, and barLatency
+	// is 30, so the old max() could never pick the pre-park value).
+	w.nextIssue = math.MaxInt64
+	blk.barWait++
+	if blk.barWait >= len(blk.warps)-blk.doneWarp {
+		sm.releaseBarrier(blk)
+	}
+}
+
+func (sm *smSim) releaseBarrier(blk *blockState) {
+	blk.barWait = 0
+	for _, bw := range blk.warps {
+		if bw.atBar {
+			bw.atBar = false
+			bw.nextIssue = sm.now + barLatency
+		}
+	}
+}
+
+// warpExit retires an exiting warp, retiring its block when it is the
+// last one out. Shared by both execution backends.
+func (sm *smSim) warpExit(w *warp) {
+	w.done = true
+	// Done warps never issue again; the infinite nextIssue lets the
+	// issue scan reject them with the stalled-warp compare alone.
+	w.nextIssue = math.MaxInt64
+	blk := w.block
+	blk.doneWarp++
+	if blk.doneWarp == len(blk.warps) {
+		sm.retireBlock(blk)
+	} else if blk.barWait > 0 && blk.barWait >= len(blk.warps)-blk.doneWarp {
+		// The exit may satisfy a barrier the other warps wait at.
+		sm.releaseBarrier(blk)
+	}
+}
+
 // retireBlock removes a finished block and schedules a replacement.
 // Quiescent warps (no outstanding dependency-barrier events) return to
-// the Sim's pool for the next block; a warp with an event still in
-// flight is left to the garbage collector so the late release cannot
-// touch a recycled warp.
+// the pool for the next block; a warp with an event still in flight is
+// parked until the instance finishes (release), so the late release
+// cannot touch a recycled warp.
 func (sm *smSim) retireBlock(blk *blockState) {
 	sm.resident--
 	for _, sc := range sm.scheds {
@@ -960,13 +1141,18 @@ func (sm *smSim) retireBlock(blk *blockState) {
 			sc.last = nil
 		}
 	}
-	sm.sim.smemPool = append(sm.sim.smemPool, blk.smem)
+	sm.pools.smemPool = append(sm.pools.smemPool, blk.smem)
 	for _, w := range blk.warps {
+		w.block = nil
 		if w.quiescent() {
-			w.block = nil
-			sm.sim.warpPool = append(sm.sim.warpPool, w)
+			sm.pools.warpPool = append(sm.pools.warpPool, w)
+		} else {
+			sm.pools.parked = append(sm.pools.parked, w)
 		}
 	}
+	blk.warps = blk.warps[:0]
+	blk.smem = nil
+	sm.pools.blockPool = append(sm.pools.blockPool, blk)
 	if len(sm.pending) > 0 {
 		sm.addEvent(event{at: sm.now + blockStartGap, kind: evBlockLoad})
 	}
@@ -988,7 +1174,7 @@ func (sm *smSim) issueMem(w *warp, in *sass.Inst, mi *instMeta, req *memRequest,
 		if start < sm.smemFree {
 			start = sm.smemFree
 		}
-		svc, conflicts := smemService(req)
+		svc, conflicts := sm.smemServiceFast(req)
 		sm.m.SmemConflictCycles += int64(conflicts)
 		serviceEnd = start + int64(svc)
 		sm.smemFree = serviceEnd
@@ -1050,19 +1236,19 @@ func (sm *smSim) issueMem(w *warp, in *sass.Inst, mi *instMeta, req *memRequest,
 	}
 
 	if in.Ctrl.WriteBar >= 0 {
-		w.barPending[in.Ctrl.WriteBar]++
+		w.barInc(in.Ctrl.WriteBar)
 		sm.addEvent(event{at: dataAt, kind: evBarRelease, warp: w, bar: in.Ctrl.WriteBar})
-		if sm.sim.HazardCheck && req.load {
+		if sm.hazard && req.load {
 			for _, r := range mi.dstRegs {
 				w.regBar[r] = in.Ctrl.WriteBar
 				w.barRegs[in.Ctrl.WriteBar] = append(w.barRegs[in.Ctrl.WriteBar], r)
 			}
 		}
-	} else if req.load && sm.sim.HazardCheck {
+	} else if req.load && sm.hazard {
 		sm.violation(w, in, "load without a write barrier")
 	}
 	if in.Ctrl.ReadBar >= 0 {
-		w.barPending[in.Ctrl.ReadBar]++
+		w.barInc(in.Ctrl.ReadBar)
 		sm.addEvent(event{at: serviceEnd, kind: evBarRelease, warp: w, bar: in.Ctrl.ReadBar})
 	}
 	return nil
@@ -1112,25 +1298,44 @@ func (sm *smSim) moveShared(w *warp, in *sass.Inst, req *memRequest) error {
 	if in.Width == sass.W128 && in.Rd != sass.RZ && req.load && int(in.Rd)%4 != 0 {
 		return fmt.Errorf("LDS.128 destination %s is not a 128-bit aligned vector register (pc %d)", in.Rd, w.pc-1)
 	}
-	smemWords := len(w.block.smem)
+	smem := w.block.smem
+	smemWords := len(smem)
+	widthMask := uint32(in.Width - 1)
+	// Validate every lane first, then move data register-row by
+	// register-row: the row pointer and RZ check hoist out of the lane
+	// loop, which the per-lane writeReg path paid per word.
 	for l := 0; l < warpSize; l++ {
 		if !req.active[l] {
 			continue
 		}
 		addr := req.addrs[l]
-		if err := checkAligned(addr, int(in.Width)); err != nil {
+		if addr&widthMask != 0 {
+			err := checkAligned(addr, int(in.Width))
 			return fmt.Errorf("%w (pc %d, lane %d)", err, w.pc-1, l)
 		}
-		wd := int(addr / 4)
-		if wd+words > smemWords {
+		if int(addr/4)+words > smemWords {
 			return fmt.Errorf("shared-memory access at 0x%x+%dB out of bounds (%d B allocated, pc %d)",
 				addr, words*4, sm.kern.SmemBytes, w.pc-1)
 		}
-		for j := 0; j < words; j++ {
-			if req.load {
-				w.writeReg(in.Rd+sass.Reg(j), l, w.block.smem[wd+j])
-			} else {
-				w.block.smem[wd+j] = w.readReg(in.Rs2+sass.Reg(j), l)
+	}
+	for j := 0; j < words; j++ {
+		if req.load {
+			r := in.Rd + sass.Reg(j)
+			if r == sass.RZ {
+				continue
+			}
+			row := &w.regs[r]
+			for l := 0; l < warpSize; l++ {
+				if req.active[l] {
+					row[l] = smem[req.addrs[l]/4+uint32(j)]
+				}
+			}
+		} else {
+			row := w.srcPtr(in.Rs2 + sass.Reg(j))
+			for l := 0; l < warpSize; l++ {
+				if req.active[l] {
+					smem[req.addrs[l]/4+uint32(j)] = row[l]
+				}
 			}
 		}
 	}
@@ -1148,10 +1353,15 @@ func (sm *smSim) moveGlobal(w *warp, in *sass.Inst, req *memRequest) error {
 			return fmt.Errorf("%w (pc %d, lane %d)", err, w.pc-1, l)
 		}
 		for j := 0; j < words; j++ {
+			a := addr + uint32(j*4)
 			if req.load {
-				w.writeReg(in.Rd+sass.Reg(j), l, sm.sim.mem.load(addr+uint32(j*4)))
+				w.writeReg(in.Rd+sass.Reg(j), l, sm.gmem.load(a))
 			} else {
-				sm.sim.mem.store(addr+uint32(j*4), w.readReg(in.Rs2+sass.Reg(j), l))
+				if sm.memLimit > 0 && int(a/4) >= sm.memLimit {
+					return fmt.Errorf("sharded store at 0x%x beyond the %d-word allocation watermark (pc %d, lane %d)",
+						a, sm.memLimit, w.pc-1, l)
+				}
+				sm.gmem.store(a, w.readReg(in.Rs2+sass.Reg(j), l))
 			}
 		}
 	}
@@ -1202,7 +1412,7 @@ func (sm *smSim) regBankConflict(w *warp, in *sass.Inst) bool {
 
 // noteFixedWrite records result latency for the hazard checker.
 func (sm *smSim) noteFixedWrite(w *warp, mi *instMeta, latency int64) {
-	if !sm.sim.HazardCheck {
+	if !sm.hazard {
 		return
 	}
 	for _, r := range mi.dstRegs {

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -57,6 +58,80 @@ func TestConcurrentIndependentSims(t *testing.T) {
 		for i := range outs[0].ys {
 			if outs[g].ys[i] != outs[0].ys[i] {
 				t.Fatalf("sim %d y[%d] = %v, sim 0 = %v", g, i, outs[g].ys[i], outs[0].ys[i])
+			}
+		}
+	}
+}
+
+// TestShardedLaunchRace exercises the multi-SM sharded launch path under
+// the race detector: one Sim fanning a launch out over >= 4 workers, with
+// the profiler both detached and attached (the profiler merge is part of
+// the sharded path's determinism contract). Results must match the
+// single-worker run bit for bit.
+func TestShardedLaunchRace(t *testing.T) {
+	k := assemble(t, saxpySrc)
+	const blocks = 64
+	const words = blocks * 32
+
+	run := func(backend Backend, workers int, profiled bool) (Metrics, []float32, *LaunchProfile) {
+		s := NewSim(RTX2070())
+		s.Backend = backend
+		s.Workers = workers
+		var prof *Profiler
+		if profiled {
+			prof = NewProfiler()
+			s.Prof = prof
+		}
+		x := s.Alloc(4 * words)
+		y := s.Alloc(4 * words)
+		xs := make([]float32, words)
+		ys := make([]float32, words)
+		for i := range xs {
+			xs[i] = float32(i % 97)
+			ys[i] = float32(i % 89)
+		}
+		s.WriteF32(x.Addr, xs)
+		s.WriteF32(y.Addr, ys)
+		m, err := s.Launch(k, LaunchOpts{
+			Grid: blocks, Block: 32,
+			Params:  []uint32{x.Addr, y.Addr, f32ToBits(0.5), 32},
+			Sharded: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lp *LaunchProfile
+		if profiled {
+			lp = prof.Launches[0]
+		}
+		return *m, s.ReadF32(y.Addr, words), lp
+	}
+
+	for _, backend := range []Backend{BackendThreaded, BackendSwitch} {
+		for _, profiled := range []bool{false, true} {
+			wantM, wantY, wantP := run(backend, 1, profiled)
+			for _, workers := range []int{4, 7} {
+				gotM, gotY, gotP := run(backend, workers, profiled)
+				if !reflect.DeepEqual(gotM, wantM) {
+					t.Fatalf("%v workers=%d profiled=%v: metrics diverge from workers=1:\n got %+v\nwant %+v",
+						backend, workers, profiled, gotM, wantM)
+				}
+				for i := range wantY {
+					if gotY[i] != wantY[i] {
+						t.Fatalf("%v workers=%d: y[%d] = %v, want %v", backend, workers, i, gotY[i], wantY[i])
+					}
+				}
+				if profiled {
+					if gotP.Cycles != wantP.Cycles || gotP.SchedCycles != wantP.SchedCycles ||
+						gotP.IssuedSlots != wantP.IssuedSlots || gotP.SlotStalls != wantP.SlotStalls {
+						t.Fatalf("%v workers=%d: profile totals diverge", backend, workers)
+					}
+					for pc := range wantP.PerInst {
+						if gotP.PerInst[pc] != wantP.PerInst[pc] {
+							t.Fatalf("%v workers=%d: pc %d profile diverges", backend, workers, pc)
+						}
+					}
+				}
 			}
 		}
 	}

@@ -1,0 +1,560 @@
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/sass"
+)
+
+// This file is the threaded-code execution backend. The decoded-program
+// cache partitions every kernel into basic blocks and pre-resolves, per
+// block, a flat chain of typed handler funcs (program.nodes) with all
+// per-instruction metadata baked in at decode time; the hot loop here
+// runs the chain instead of switching on the opcode and re-deriving
+// control-code fields per issue.
+//
+// Equivalence contract: the threaded backend must produce byte-identical
+// Metrics, memory contents, and profiles to the switch interpreter in
+// sim.go/exec.go, which is retained as the differential oracle. Every
+// handler below replicates the corresponding exec() case for the exact
+// shape it was selected for (same expressions, same order of effects),
+// and issueThreaded mirrors issue() operation for operation. The
+// differential backend tests (internal/kernels) run the full quick-sweep
+// config set plus randomized control codes over both backends to keep
+// this honest.
+
+// handlerFn executes one instruction functionally across a warp. The
+// node carries the pre-resolved shape, so handlers skip the opcode
+// switch, the guard-predicate checks of uniform instructions, and the
+// operand-mode dispatch.
+type handlerFn func(sm *smSim, w *warp, nd *node) (execResult, error)
+
+// selectHandler picks the chain handler for an instruction's exact
+// shape. Shapes without a specialized handler fall back to the switch
+// interpreter's exec() for that single instruction, which keeps the two
+// backends semantically identical by construction on the cold paths.
+func selectHandler(in *sass.Inst, mi *instMeta) handlerFn {
+	switch in.Op {
+	case sass.OpNOP:
+		return hNop
+	case sass.OpEXIT:
+		if mi.uniform {
+			return hExitUniform
+		}
+	case sass.OpBRA:
+		if mi.uniform {
+			return hBraUniform
+		}
+	case sass.OpBAR:
+		return hBarrier
+	case sass.OpFFMA:
+		if in.Rd == sass.RZ {
+			return hNop
+		}
+		if mi.uniform && !in.NegA && !in.NegB {
+			if in.SrcMode == sass.SrcReg {
+				return hFFMAReg
+			}
+			return hFFMAScalar
+		}
+	case sass.OpFADD:
+		if in.Rd == sass.RZ {
+			return hNop
+		}
+		if mi.uniform && !in.NegA && !in.NegB && in.SrcMode == sass.SrcReg {
+			return hFADDReg
+		}
+	case sass.OpFMUL:
+		if in.Rd == sass.RZ {
+			return hNop
+		}
+		if mi.uniform && !in.NegA && !in.NegB && in.SrcMode == sass.SrcReg {
+			return hFMULReg
+		}
+	case sass.OpMOV:
+		if in.Rd == sass.RZ {
+			return hNop
+		}
+		if mi.uniform {
+			if in.SrcMode == sass.SrcReg {
+				return hMOVReg
+			}
+			return hMOVScalar
+		}
+	case sass.OpIADD3:
+		if in.Rd == sass.RZ {
+			return hNop
+		}
+		if mi.uniform {
+			if in.SrcMode == sass.SrcReg {
+				return hIADD3Reg
+			}
+			return hIADD3Scalar
+		}
+	case sass.OpIMAD:
+		if in.Rd == sass.RZ {
+			return hNop
+		}
+		if mi.uniform {
+			switch {
+			case in.SrcMode == sass.SrcReg && in.ShRight:
+				return hIMADHiReg
+			case in.SrcMode == sass.SrcReg:
+				return hIMADReg
+			case in.ShRight:
+				return hIMADHiScalar
+			default:
+				return hIMADScalar
+			}
+		}
+	case sass.OpLOP3:
+		if in.Rd == sass.RZ {
+			return hNop
+		}
+		if mi.uniform {
+			if in.SrcMode == sass.SrcReg {
+				return hLOP3Reg
+			}
+			return hLOP3Scalar
+		}
+	case sass.OpLDG, sass.OpSTG, sass.OpLDS, sass.OpSTS:
+		if mi.uniform {
+			return hMemUniform
+		}
+		return hMemGeneral
+	}
+	return hGeneric
+}
+
+// hGeneric is the fallback for shapes with no specialized handler: the
+// switch interpreter executes the single instruction (ISETP, SHF, SEL,
+// S2R, P2R, R2P, predicated ALU/control shapes, unknown opcodes).
+func hGeneric(sm *smSim, w *warp, nd *node) (execResult, error) {
+	return w.exec(nd.in, nd.mi, sm.consts)
+}
+
+func hNop(sm *smSim, w *warp, nd *node) (execResult, error) {
+	return execResult{}, nil
+}
+
+func hExitUniform(sm *smSim, w *warp, nd *node) (execResult, error) {
+	return execResult{exited: true}, nil
+}
+
+func hBraUniform(sm *smSim, w *warp, nd *node) (execResult, error) {
+	w.pc += nd.braOfs
+	return execResult{branched: true}, nil
+}
+
+func hBarrier(sm *smSim, w *warp, nd *node) (execResult, error) {
+	return execResult{barrier: true}, nil
+}
+
+func hFFMAReg(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	d := &w.regs[in.Rd]
+	ap, bp, cp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs1), w.srcPtr(in.Rs2)
+	for l := 0; l < warpSize; l++ {
+		a := bitsToF32(ap[l])
+		b := bitsToF32(bp[l])
+		c := bitsToF32(cp[l])
+		d[l] = f32ToBits(a*b + c)
+	}
+	return execResult{}, nil
+}
+
+func hFFMAScalar(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	d := &w.regs[in.Rd]
+	ap, cp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs2)
+	b := bitsToF32(scalarB(in, sm.consts))
+	for l := 0; l < warpSize; l++ {
+		a := bitsToF32(ap[l])
+		c := bitsToF32(cp[l])
+		d[l] = f32ToBits(a*b + c)
+	}
+	return execResult{}, nil
+}
+
+func hFADDReg(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	d := &w.regs[in.Rd]
+	ap, bp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs1)
+	for l := 0; l < warpSize; l++ {
+		d[l] = f32ToBits(bitsToF32(ap[l]) + bitsToF32(bp[l]))
+	}
+	return execResult{}, nil
+}
+
+func hFMULReg(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	d := &w.regs[in.Rd]
+	ap, bp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs1)
+	for l := 0; l < warpSize; l++ {
+		d[l] = f32ToBits(bitsToF32(ap[l]) * bitsToF32(bp[l]))
+	}
+	return execResult{}, nil
+}
+
+func hMOVReg(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	w.regs[in.Rd] = *w.srcPtr(in.Rs1)
+	return execResult{}, nil
+}
+
+func hMOVScalar(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	d := &w.regs[in.Rd]
+	v := scalarB(in, sm.consts)
+	for l := 0; l < warpSize; l++ {
+		d[l] = v
+	}
+	return execResult{}, nil
+}
+
+func hIADD3Reg(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	d := &w.regs[in.Rd]
+	ap, bp, cp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs1), w.srcPtr(in.Rs2)
+	for l := 0; l < warpSize; l++ {
+		d[l] = ap[l] + bp[l] + cp[l]
+	}
+	return execResult{}, nil
+}
+
+func hIADD3Scalar(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	d := &w.regs[in.Rd]
+	ap, cp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs2)
+	b := scalarB(in, sm.consts)
+	for l := 0; l < warpSize; l++ {
+		d[l] = ap[l] + b + cp[l]
+	}
+	return execResult{}, nil
+}
+
+func hIMADReg(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	d := &w.regs[in.Rd]
+	ap, bp, cp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs1), w.srcPtr(in.Rs2)
+	for l := 0; l < warpSize; l++ {
+		d[l] = ap[l]*bp[l] + cp[l]
+	}
+	return execResult{}, nil
+}
+
+func hIMADHiReg(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	d := &w.regs[in.Rd]
+	ap, bp, cp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs1), w.srcPtr(in.Rs2)
+	for l := 0; l < warpSize; l++ {
+		d[l] = uint32((uint64(ap[l])*uint64(bp[l]))>>32) + cp[l]
+	}
+	return execResult{}, nil
+}
+
+func hIMADScalar(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	d := &w.regs[in.Rd]
+	ap, cp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs2)
+	b := scalarB(in, sm.consts)
+	for l := 0; l < warpSize; l++ {
+		d[l] = ap[l]*b + cp[l]
+	}
+	return execResult{}, nil
+}
+
+func hIMADHiScalar(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	d := &w.regs[in.Rd]
+	ap, cp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs2)
+	b := scalarB(in, sm.consts)
+	for l := 0; l < warpSize; l++ {
+		d[l] = uint32((uint64(ap[l])*uint64(b))>>32) + cp[l]
+	}
+	return execResult{}, nil
+}
+
+func hLOP3Reg(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	d := &w.regs[in.Rd]
+	ap, bp, cp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs1), w.srcPtr(in.Rs2)
+	for l := 0; l < warpSize; l++ {
+		d[l] = lop3(ap[l], bp[l], cp[l], in.Lut)
+	}
+	return execResult{}, nil
+}
+
+func hLOP3Scalar(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	d := &w.regs[in.Rd]
+	ap, cp := w.srcPtr(in.Rs0), w.srcPtr(in.Rs2)
+	b := scalarB(in, sm.consts)
+	for l := 0; l < warpSize; l++ {
+		d[l] = lop3(ap[l], b, cp[l], in.Lut)
+	}
+	return execResult{}, nil
+}
+
+func hMemUniform(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	req := &w.memReq
+	req.op = in.Op
+	req.width = in.Width
+	req.shared = in.Op == sass.OpLDS || in.Op == sass.OpSTS
+	req.load = in.Op == sass.OpLDG || in.Op == sass.OpLDS
+	ap := w.srcPtr(in.Rs0)
+	for l := 0; l < warpSize; l++ {
+		req.addrs[l] = ap[l] + in.Imm
+		req.active[l] = true
+	}
+	req.any = true
+	return execResult{mem: req}, nil
+}
+
+func hMemGeneral(sm *smSim, w *warp, nd *node) (execResult, error) {
+	in := nd.in
+	req := &w.memReq
+	req.op = in.Op
+	req.width = in.Width
+	req.shared = in.Op == sass.OpLDS || in.Op == sass.OpSTS
+	req.load = in.Op == sass.OpLDG || in.Op == sass.OpLDS
+	req.any = false
+	for l := 0; l < warpSize; l++ {
+		if w.laneActive(in, l) {
+			req.addrs[l] = w.readReg(in.Rs0, l) + in.Imm
+			req.active[l] = true
+			req.any = true
+		} else {
+			req.active[l] = false
+		}
+	}
+	return execResult{mem: req}, nil
+}
+
+// runThreaded is the threaded backend's scheduling loop: identical to
+// run() except that issue selection walks the pre-resolved node chains.
+func (sm *smSim) runThreaded() error {
+	idleGuard := 0
+	for sm.resident > 0 || len(sm.pending) > 0 {
+		if sm.nextEventAt <= sm.now {
+			sm.fireEvents()
+		}
+		issued := false
+		for _, sc := range sm.scheds {
+			ok, err := sm.tryIssueThreaded(sc)
+			if err != nil {
+				return err
+			}
+			issued = issued || ok
+		}
+		if issued {
+			if sm.prof != nil {
+				sm.profAccount(1)
+			}
+			sm.now++
+			idleGuard = 0
+			continue
+		}
+		next, found := sm.nextWake()
+		if !found {
+			if sm.resident == 0 && len(sm.pending) > 0 {
+				// Shouldn't happen: block loads are events.
+				return fmt.Errorf("stalled with pending blocks at cycle %d", sm.now)
+			}
+			return fmt.Errorf("deadlock at cycle %d: no eligible warp and no pending event", sm.now)
+		}
+		if next <= sm.now {
+			next = sm.now + 1
+		}
+		if sm.prof != nil {
+			sm.profAccount(next - sm.now)
+		}
+		sm.now = next
+		idleGuard++
+		if idleGuard > 1<<20 {
+			return fmt.Errorf("livelock at cycle %d", sm.now)
+		}
+	}
+	return nil
+}
+
+// eligibleThreaded is eligible() on baked node metadata: the wait-mask
+// scan collapses to one AND against the warp's pending-barrier bitmask.
+// eligibleThreaded reports whether w can issue this cycle. Callers must
+// have already rejected stalled warps (w.nextIssue > sm.now), which also
+// covers done and barrier-parked warps: both carry an infinite
+// nextIssue (see warpExit / warpBarrier).
+func (sm *smSim) eligibleThreaded(sc *scheduler, w *warp) (ok bool, blocked int) {
+	if w.pc >= len(sm.nodes) {
+		return false, 0
+	}
+	nd := &sm.nodes[w.pc]
+	if nd.waitMask&w.barMask != 0 {
+		return false, 0
+	}
+	switch nd.class {
+	case classMem:
+		if !sm.mioSlotFree(nd.isLDG) {
+			if nd.isLDG {
+				return false, 2
+			}
+			return false, 1
+		}
+	case classFP:
+		if sc.fpBusyUntil > sm.now {
+			return false, 0
+		}
+	case classInt:
+		if sc.intBusyUntil > sm.now {
+			return false, 0
+		}
+	}
+	return true, 0
+}
+
+// tryIssueThreaded mirrors tryIssue with threaded eligibility and issue.
+func (sm *smSim) tryIssueThreaded(sc *scheduler) (bool, error) {
+	if sc.busyUntil > sm.now || len(sc.warps) == 0 {
+		return false, nil
+	}
+	var chosen *warp
+	blockKind := 0
+	now := sm.now
+	if sc.last != nil && sc.last.lastYield && sc.last.nextIssue <= now {
+		if ok, bk := sm.eligibleThreaded(sc, sc.last); ok {
+			chosen = sc.last
+		} else if bk > blockKind {
+			blockKind = bk
+		}
+	}
+	if chosen == nil {
+		n := len(sc.warps)
+		// Round-robin scan without the per-step modulo: idx walks the
+		// ring starting one past rr, wrapping once at most. The stalled
+		// check is inlined — it also rejects done and barrier-parked
+		// warps (infinite nextIssue) — so the common rejection costs one
+		// compare, not a call.
+		idx := (sc.rr + 1) % n
+		for i := 1; i <= n; i++ {
+			w := sc.warps[idx]
+			cur := idx
+			idx++
+			if idx == n {
+				idx = 0
+			}
+			if w.nextIssue > now || w == sc.last {
+				continue
+			}
+			if ok, bk := sm.eligibleThreaded(sc, w); ok {
+				chosen = w
+				sc.rr = cur
+				break
+			} else if bk > blockKind {
+				blockKind = bk
+			}
+		}
+		if chosen == nil && sc.last != nil && sc.last.nextIssue <= now {
+			if ok, bk := sm.eligibleThreaded(sc, sc.last); ok {
+				chosen = sc.last
+			} else if bk > blockKind {
+				blockKind = bk
+			}
+		}
+	}
+	if chosen == nil {
+		switch blockKind {
+		case 1:
+			sm.m.MIOStallCycles++
+		case 2:
+			sm.m.MSHRStallCycles++
+		}
+		return false, nil
+	}
+	return true, sm.issueThreaded(sc, chosen)
+}
+
+// issueThreaded mirrors issue() operation for operation on node
+// metadata: exec through the pre-resolved handler, then counters, prof
+// hooks, hazard check, timing, and class effects, in the same order.
+func (sm *smSim) issueThreaded(sc *scheduler, w *warp) error {
+	pc := w.pc
+	nd := &sm.nodes[pc]
+	w.pc++
+
+	switched := sc.last != nil && sc.last != w
+	penalty := int64(0)
+	if switched {
+		penalty = 1
+		sm.m.SwitchCount++
+		w.reuseValid = false
+	}
+
+	res, err := nd.fn(sm, w, nd)
+	if err != nil {
+		return err
+	}
+	sm.m.Issued++
+	if sm.prof != nil {
+		sm.prof.noteIssue(w, pc, sm.now, res.exited)
+		sc.profLastIssueAt = sm.now
+		sm.m.WarpCycles[StallNone]++
+	}
+
+	if sm.hazard {
+		sm.checkHazards(w, nd.in, nd.mi)
+	}
+
+	base := sm.now + penalty
+	w.nextIssue = base + nd.stall
+	sc.busyUntil = base + 1
+
+	switch nd.class {
+	case classFP:
+		sm.m.FPIssued++
+		if nd.isFFMA {
+			sm.m.FFMAs++
+		}
+		dur := int64(2)
+		if nd.mayBank && sm.regBankConflict(w, nd.in) {
+			dur++
+			sm.m.RegBankConflicts++
+		}
+		sc.fpBusyUntil = base + dur
+		sm.m.FPPipeUseful += 2
+		sm.noteFixedWrite(w, nd.mi, fpLatency)
+	case classInt:
+		sm.m.IntIssued++
+		sc.intBusyUntil = base + 2
+		lat := nd.intLat
+		sm.noteFixedWrite(w, nd.mi, lat)
+		if nd.writeBar >= 0 {
+			w.barInc(nd.writeBar)
+			sm.addEvent(event{at: base + lat, kind: evBarRelease, warp: w, bar: nd.writeBar})
+		}
+	case classMem:
+		if err := sm.issueMem(w, nd.in, nd.mi, res.mem, base); err != nil {
+			return err
+		}
+	default:
+		switch {
+		case res.barrier:
+			sm.warpBarrier(w)
+		case res.exited:
+			sm.warpExit(w)
+		}
+	}
+
+	if nd.class == classFP || nd.class == classInt {
+		if nd.reuse != 0 {
+			w.reuseValid = true
+			w.reuseMask = nd.reuse
+			w.reuseRegs = nd.reuseRegs
+		} else {
+			w.reuseValid = false
+		}
+	}
+	w.lastYield = nd.yield
+	sc.last = w
+	return nil
+}

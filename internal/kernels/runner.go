@@ -17,12 +17,45 @@ type ConvResult struct {
 	FTF  *gpu.Metrics
 }
 
+// SimOpts selects the simulator's execution engine for a conv run: the
+// per-instruction backend (threaded by default; switch is the
+// differential oracle) and the worker count for sharded full-grid
+// launches (0 = GOMAXPROCS). Results are identical across backends and
+// worker counts.
+type SimOpts struct {
+	Backend gpu.Backend
+	Workers int
+}
+
+// ConvOpts bundles every option of a simulated convolution run; the zero
+// value is a full functional run on the default engine.
+type ConvOpts struct {
+	// In and Flt are the input (CHWN) and filter (CRSK) tensors; nil
+	// leaves device memory zeroed (timing-only runs).
+	In, Flt *tensor.Tensor
+	// SampleBlocks > 0 simulates only that many main-kernel blocks (a
+	// timing sample; no output is returned). 0 runs the whole grid.
+	SampleBlocks int
+	// MainLoopOnly trims the output transform, matching the paper's
+	// "main loop" measurements.
+	MainLoopOnly bool
+	// HazardCheck enables the control-code validator on both launches.
+	HazardCheck bool
+	// Hot samples sequential blocks on one SM (maximal L2 reuse) instead
+	// of wave sampling; meaningful only with SampleBlocks > 0.
+	Hot bool
+	// Prof, when non-nil, collects one LaunchProfile per kernel launch.
+	Prof *gpu.Profiler
+	// Sim selects the execution engine.
+	Sim SimOpts
+}
+
 // RunConvSampled is a timing-only convenience: it samples `sampleBlocks`
 // main-kernel blocks on one SM, sequentially (hot=true: maximal L2 reuse,
 // the compute-bound steady state) or strided across the grid (hot=false:
 // the L2 locality one SM of a fully loaded device sees).
 func RunConvSampled(dev gpu.Device, cfg Config, p Problem, sampleBlocks int, mainLoopOnly, hot bool) (*ConvResult, error) {
-	return runConv(dev, cfg, p, nil, nil, sampleBlocks, mainLoopOnly, false, hot, nil)
+	return RunConvWith(dev, cfg, p, ConvOpts{SampleBlocks: sampleBlocks, MainLoopOnly: mainLoopOnly, Hot: hot})
 }
 
 // RunConvSampledProfiled is RunConvSampled with a profiler attached to
@@ -30,7 +63,7 @@ func RunConvSampled(dev gpu.Device, cfg Config, p Problem, sampleBlocks int, mai
 // transform and one for the main kernel (in launch order). A nil prof
 // is identical to RunConvSampled.
 func RunConvSampledProfiled(dev gpu.Device, cfg Config, p Problem, sampleBlocks int, mainLoopOnly, hot bool, prof *gpu.Profiler) (*ConvResult, error) {
-	return runConv(dev, cfg, p, nil, nil, sampleBlocks, mainLoopOnly, false, hot, prof)
+	return RunConvWith(dev, cfg, p, ConvOpts{SampleBlocks: sampleBlocks, MainLoopOnly: mainLoopOnly, Hot: hot, Prof: prof})
 }
 
 // RunConv executes the full Winograd convolution (filter-transform kernel
@@ -43,16 +76,28 @@ func RunConvSampledProfiled(dev gpu.Device, cfg Config, p Problem, sampleBlocks 
 // transform, matching the paper's "main loop" measurements.
 func RunConv(dev gpu.Device, cfg Config, p Problem, in, flt *tensor.Tensor,
 	sampleBlocks int, mainLoopOnly bool, hazardCheck bool) (*ConvResult, error) {
-	return runConv(dev, cfg, p, in, flt, sampleBlocks, mainLoopOnly, hazardCheck, false, nil)
+	return RunConvWith(dev, cfg, p, ConvOpts{
+		In: in, Flt: flt, SampleBlocks: sampleBlocks,
+		MainLoopOnly: mainLoopOnly, HazardCheck: hazardCheck,
+	})
 }
 
-// runConv is safe for concurrent calls: every invocation allocates its
-// own gpu.Sim (device memory, allocator, L2 model) and its own buffers,
-// so independent simulations never share mutable state. The generated
-// kernels come from the process-wide generation cache and are shared
-// read-only (see gencache.go).
-func runConv(dev gpu.Device, cfg Config, p Problem, in, flt *tensor.Tensor,
-	sampleBlocks int, mainLoopOnly bool, hazardCheck bool, hot bool, prof *gpu.Profiler) (*ConvResult, error) {
+// RunConvWith is the fully general conv entry point. It is safe for
+// concurrent calls: every invocation allocates its own gpu.Sim (device
+// memory, allocator, L2 model) and its own buffers, so independent
+// simulations never share mutable state. The generated kernels come from
+// the process-wide generation cache and are shared read-only (see
+// gencache.go).
+//
+// Full-grid runs (SampleBlocks == 0) launch Sharded: the whole-device
+// simulation is split SM-by-SM across Sim.Workers goroutines with
+// deterministic merging, which is where the simulator's wall-clock
+// speedup on functional runs comes from. Sampled runs keep the
+// sequential chained-L2 launch semantics so sampled timings (and the
+// golden sweep outputs built on them) are unchanged.
+func RunConvWith(dev gpu.Device, cfg Config, p Problem, o ConvOpts) (*ConvResult, error) {
+	in, flt := o.In, o.Flt
+	sampleBlocks, mainLoopOnly, hazardCheck, hot, prof := o.SampleBlocks, o.MainLoopOnly, o.HazardCheck, o.Hot, o.Prof
 	cfg = cfg.withDefaults()
 	if err := p.Validate(cfg.BK); err != nil {
 		return nil, err
@@ -79,6 +124,12 @@ func runConv(dev gpu.Device, cfg Config, p Problem, in, flt *tensor.Tensor,
 	sim := gpu.NewSim(dev)
 	sim.HazardCheck = hazardCheck
 	sim.Prof = prof
+	sim.Backend = o.Sim.Backend
+	sim.Workers = o.Sim.Workers
+	// Only full functional runs shard: sampled launches keep the
+	// sequential chained-L2 semantics their calibrated timings (and the
+	// committed golden sweep outputs) were built on.
+	sharded := sampleBlocks == 0
 
 	// Device buffers. The input and transformed-filter buffers carry one
 	// extra iteration of slack: the software pipeline prefetches one
@@ -107,7 +158,8 @@ func runConv(dev gpu.Device, cfg Config, p Problem, in, flt *tensor.Tensor,
 	fb := FTFBlock(p.K)
 	res.FTF, err = sim.Launch(ftf, gpu.LaunchOpts{
 		Grid: p.K / fb, GridY: p.C, Block: fb,
-		Params: []uint32{fltBuf.Addr, fhatBuf.Addr, uint32(p.K * 4)},
+		Params:  []uint32{fltBuf.Addr, fhatBuf.Addr, uint32(p.K * 4)},
+		Sharded: sharded,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("kernels: FTF launch: %w", err)
@@ -124,7 +176,8 @@ func runConv(dev gpu.Device, cfg Config, p Problem, in, flt *tensor.Tensor,
 	gx, gy, gz := GridFor(cfg, p)
 	opts := gpu.LaunchOpts{
 		Grid: gx, GridY: gy, GridZ: gz, Block: 256,
-		Params: []uint32{inBuf.Addr, fhatBuf.Addr, outBuf.Addr},
+		Params:  []uint32{inBuf.Addr, fhatBuf.Addr, outBuf.Addr},
+		Sharded: sharded,
 	}
 	if sampleBlocks > 0 {
 		if hot {

@@ -61,6 +61,10 @@ func Benchmarks() []Benchmark {
 		{"sim/mainloop", benchSimMainLoop},
 		{"sim/mainloop-prof", benchSimMainLoopProf},
 		{"sim/fullconv", benchSimFullConv},
+		{"sim/switch", benchSimSwitch},
+		{"sim/threaded", benchSimThreaded},
+		{"sim/parallel", benchSimParallel},
+		{"sim/steadystate", benchSimSteadyState},
 		{"turingas/assemble", benchAssemble},
 		{"kernels/source", benchKernelSource},
 		{"winograd/conv2d", benchWinogradConv2D},
@@ -160,6 +164,82 @@ func benchSimFullConv(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := kernels.RunConv(gpu.RTX2070(), kernels.Ours(), p, in, flt, 0, false, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFullConvWith is benchSimFullConv pinned to one execution engine,
+// so one report carries the oracle, the single-worker interpreter, and
+// the parallel path side by side — measured together on one machine,
+// which is the only way their ratio is meaningful.
+func benchFullConvWith(b *testing.B, sim kernels.SimOpts) {
+	p := perfProblem
+	in := tensor.NewImage(tensor.CHWN, tensor.Shape4{N: p.N, C: p.C, H: p.H, W: p.W})
+	in.FillRandom(1)
+	flt := tensor.NewFilter(tensor.CRSK, tensor.FilterShape{K: p.K, C: p.C, R: 3, S: 3})
+	flt.FillRandom(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kernels.RunConvWith(gpu.RTX2070(), kernels.Ours(), p, kernels.ConvOpts{
+			In: in, Flt: flt, Sim: sim,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSimSwitch is the full conv on the switch oracle, sequentially —
+// the seed's execution model, kept as the in-report speedup reference.
+func benchSimSwitch(b *testing.B) {
+	benchFullConvWith(b, kernels.SimOpts{Backend: gpu.BackendSwitch, Workers: 1})
+}
+
+// benchSimThreaded isolates the threaded interpreter's gain: one worker,
+// no parallelism.
+func benchSimThreaded(b *testing.B) {
+	benchFullConvWith(b, kernels.SimOpts{Backend: gpu.BackendThreaded, Workers: 1})
+}
+
+// benchSimParallel is the production path: threaded interpreter, sharded
+// across GOMAXPROCS workers.
+func benchSimParallel(b *testing.B) {
+	benchFullConvWith(b, kernels.SimOpts{Backend: gpu.BackendThreaded, Workers: 0})
+}
+
+// benchSimSteadyState measures repeated sharded launches on one reused
+// Sim — the threaded backend's zero-allocation contract. Its allocs/op
+// is pinned at exactly 0 in the committed baseline (and by the hard
+// test in internal/gpu): the instance pools, launch plans, shard
+// results, and worker L2 clones must all recycle.
+func benchSimSteadyState(b *testing.B) {
+	p := perfProblem
+	cfg := kernels.Ours()
+	main, err := kernels.Generate(cfg, p, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := gpu.NewSim(gpu.RTX2070())
+	slackIn := 8 * p.H * p.W * p.N * 4
+	slackFlt := 8 * 16 * p.K * 4
+	inBuf := sim.Alloc(p.C*p.H*p.W*p.N*4 + slackIn)
+	fhatBuf := sim.Alloc(p.C*16*p.K*4 + slackFlt)
+	outBuf := sim.Alloc(p.K * p.H * p.W * p.N * 4)
+	gx, gy, gz := kernels.GridFor(cfg, p)
+	opts := gpu.LaunchOpts{
+		Grid: gx, GridY: gy, GridZ: gz, Block: 256,
+		Params:  []uint32{inBuf.Addr, fhatBuf.Addr, outBuf.Addr},
+		Sharded: true,
+	}
+	var m gpu.Metrics
+	if err := sim.LaunchM(main, opts, &m); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.LaunchM(main, opts, &m); err != nil {
 			b.Fatal(err)
 		}
 	}
