@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	gpusim [-dev v100|rtx2070] [-layer conv2..conv5] [-n 32] [-bk 64]
+//	gpusim [-dev NAME] [-layer conv2..conv5] [-n 32] [-bk 64]
 //	       [-yield 0] [-ldg 8] [-sts 6] [-mainloop] [-waves 4] [-verify]
-//	       [-prof] [-trace trace.json]
+//	       [-prof] [-trace trace.json] [-calibrate]
+//
+// -dev accepts any registered device name (see internal/gpu/devices);
+// an unknown name lists the registered ones.
 //
 // -verify runs a reduced problem end to end (all blocks simulated) and
 // checks the simulated kernel's output against the CPU reference.
+//
+// -calibrate runs the internal/microbench probe suite on the selected
+// device with the selected backend and prints the probe report,
+// exiting non-zero if any probe disagrees with the device file.
 //
 // -prof attaches the profiler and prints stall-attribution reports with
 // annotated SASS listings for both launches (the memory-bound filter
@@ -28,11 +35,12 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/gpu/prof"
 	"repro/internal/kernels"
+	"repro/internal/microbench"
 	"repro/internal/tensor"
 )
 
 func main() {
-	devName := flag.String("dev", "rtx2070", "device model: v100 or rtx2070")
+	devName := flag.String("dev", "rtx2070", "registered device name (unknown value lists the registry)")
 	layer := flag.String("layer", "conv4", "ResNet layer: conv2..conv5")
 	n := flag.Int("n", 32, "batch size")
 	bk := flag.Int("bk", 64, "filter-dimension cache block (64 = paper, 32 = cuDNN-like)")
@@ -46,6 +54,7 @@ func main() {
 	trace := flag.String("trace", "", "write the main kernel's warp timeline as a Chrome trace to this file (implies -prof)")
 	backendFlag := flag.String("backend", "threaded", "simulator execution backend (threaded or switch; bit-identical results)")
 	simWorkers := flag.Int("simworkers", 0, "worker goroutines per sharded full-grid simulation (0 = GOMAXPROCS)")
+	calibrate := flag.Bool("calibrate", false, "run the microbenchmark probe suite on -dev and exit")
 	flag.Parse()
 
 	be, err := gpu.ParseBackend(*backendFlag)
@@ -54,15 +63,25 @@ func main() {
 	}
 	simOpts := kernels.SimOpts{Backend: be, Workers: *simWorkers}
 
-	var dev gpu.Device
-	switch *devName {
-	case "v100":
-		dev = gpu.V100()
-	case "rtx2070":
-		dev = gpu.RTX2070()
-	default:
-		fmt.Fprintln(os.Stderr, "unknown device", *devName)
+	dev, err := gpu.DeviceByName(*devName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpusim:", err)
 		os.Exit(2)
+	}
+
+	if *calibrate {
+		res, err := microbench.Calibrate(dev, microbench.Options{Backend: be})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("calibrating %s on the %s backend\n", dev.Name, be)
+		fmt.Print(microbench.Report(res))
+		if !microbench.Pass(res) {
+			fatal(fmt.Errorf("calibration failed: %d probe(s) disagree with the device file",
+				len(microbench.Failures(res))))
+		}
+		fmt.Println("calibration PASSED")
+		return
 	}
 
 	var l bench.Layer

@@ -4,6 +4,7 @@
 //
 //	winograd-bench [-waves N] [-quick] [-markdown] [-jobs N] [-timings] [-prof] [experiment ...]
 //	winograd-bench [-waves N] [-quick] [-jobs N] [-budget N] [-tunecache PATH] [-device D] tune
+//	winograd-bench [-jobs N] [-markdown] [-backend B] [-device D] calibrate
 //
 // With no arguments it lists the available experiments; "all" runs the
 // whole evaluation in paper order. Experiment ids may be repeated and
@@ -16,6 +17,12 @@
 // ResNet layer on the simulator (statically pruned, budgeted by
 // -budget), persists measurements to the -tunecache JSON file, and
 // prints the tuned-vs-default report and per-layer algorithm selection.
+//
+// The `calibrate` subcommand runs the internal/microbench probe suite
+// against every registered device file (or just -device when given) and
+// prints, per device, the probe report plus the per-layer algorithm
+// selection implied by the analytic model — the standing check that the
+// device specs and the simulator still agree.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -51,10 +59,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	simWorkers := fs.Int("simworkers", 0, "worker goroutines per sharded full-grid simulation (0 = GOMAXPROCS)")
 	budget := fs.Int("budget", 12, "tune: max simulated candidate configs per layer (paper default always included)")
 	tuneCache := fs.String("tunecache", "", "tune: path of the persistent JSON tuning cache (empty = in-memory only)")
-	device := fs.String("device", "rtx2070", "tune: device to tune for (rtx2070 or v100)")
+	device := fs.String("device", "rtx2070", "tune/calibrate: registered device name (see `winograd-bench` listing)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
+	deviceSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "device" {
+			deviceSet = true
+		}
+	})
 	be, err := gpu.ParseBackend(*backend)
 	if err != nil {
 		fmt.Fprintf(stderr, "winograd-bench: %v\n", err)
@@ -69,6 +83,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout, "  all        run everything in paper order")
 		fmt.Fprintln(stdout, "  tune       autotune per-layer configs and algorithm selection")
+		fmt.Fprintln(stdout, "  calibrate  probe every registered device spec against the simulator")
+		fmt.Fprintf(stdout, "devices: %s\n", strings.Join(gpu.DeviceNames(), ", "))
 		return 0
 	}
 
@@ -77,6 +93,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if len(args) == 1 && args[0] == "tune" {
 		return runTune(tuneOpts{waves: *waves, quick: *quick, markdown: *markdown,
 			jobs: *jobs, budget: *budget, cache: *tuneCache, device: *device}, stdout, stderr)
+	}
+
+	// `calibrate` is likewise its own subcommand. -device defaults to
+	// "every registered device"; it narrows only when set explicitly.
+	if len(args) == 1 && args[0] == "calibrate" {
+		o := calibrateOpts{jobs: *jobs, markdown: *markdown, backend: be}
+		if deviceSet {
+			o.device = *device
+		}
+		return runCalibrate(o, stdout, stderr)
 	}
 
 	// Resolve the selection: "all" may be mixed with explicit ids,

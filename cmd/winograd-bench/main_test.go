@@ -162,6 +162,84 @@ func TestTuneQuickGolden(t *testing.T) {
 	}
 }
 
+const calibrateGoldenPath = "testdata/calibrate.golden"
+
+// TestCalibrateGolden pins the calibrate subcommand the same way: the
+// full all-device stdout (probe reports plus the analytic per-layer
+// selection tables) against a committed golden, -jobs 1 versus -jobs 4,
+// and the same bytes from both execution backends. A probe drifting
+// from a device file fails the run outright (exit 1), so this is the
+// repo-level anti-drift oracle wired into the CLI.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./cmd/winograd-bench -run TestCalibrateGolden -update
+func TestCalibrateGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probes every registered device")
+	}
+	seq, _, code := runCapture(t, "-jobs", "1", "calibrate")
+	if code != 0 {
+		t.Fatalf("sequential calibrate exited %d", code)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(calibrateGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(calibrateGoldenPath, []byte(seq), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", calibrateGoldenPath, len(seq))
+	}
+	golden, err := os.ReadFile(calibrateGoldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if diff := firstDiff(string(golden), seq); diff != "" {
+		t.Errorf("-jobs 1 calibrate stdout diverges from %s:\n%s", calibrateGoldenPath, diff)
+	}
+
+	par, _, code := runCapture(t, "-jobs", "4", "calibrate")
+	if code != 0 {
+		t.Fatalf("concurrent calibrate exited %d", code)
+	}
+	if diff := firstDiff(seq, par); diff != "" {
+		t.Errorf("-jobs 4 calibrate stdout diverges from -jobs 1:\n%s", diff)
+	}
+
+	sw, _, code := runCapture(t, "-jobs", "4", "-backend", "switch", "calibrate")
+	if code != 0 {
+		t.Fatalf("switch-backend calibrate exited %d", code)
+	}
+	if diff := firstDiff(seq, sw); diff != "" {
+		t.Errorf("-backend switch calibrate stdout diverges:\n%s", diff)
+	}
+
+	// A single explicit -device narrows the run to that device's section
+	// of the full report.
+	one, _, code := runCapture(t, "-device", "K20X", "calibrate")
+	if code != 0 {
+		t.Fatalf("single-device calibrate exited %d", code)
+	}
+	if !strings.Contains(seq, one) {
+		t.Error("-device k20x output is not a slice of the all-device output")
+	}
+	if strings.Contains(one, "V100") {
+		t.Error("-device k20x output mentions V100")
+	}
+
+	// Unknown devices exit 2 and list the registry.
+	_, errOut, code := runCapture(t, "-device", "gtx480", "calibrate")
+	if code != 2 {
+		t.Fatalf("unknown device: code=%d", code)
+	}
+	for _, want := range []string{"unknown device", "k20x", "v100"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stderr %q missing %q", errOut, want)
+		}
+	}
+}
+
 // firstDiff renders the first line-level difference between two texts
 // (empty when identical), keeping failure output readable.
 func firstDiff(want, got string) string {

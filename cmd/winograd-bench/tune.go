@@ -27,14 +27,9 @@ type tuneOpts struct {
 // byte-identical for any -jobs value and for cold versus warm caches;
 // cache warnings and scheduling stats go to stderr.
 func runTune(o tuneOpts, stdout, stderr io.Writer) int {
-	var dev gpu.Device
-	switch o.device {
-	case "rtx2070":
-		dev = gpu.RTX2070()
-	case "v100":
-		dev = gpu.V100()
-	default:
-		fmt.Fprintf(stderr, "unknown device %q (want rtx2070 or v100)\n", o.device)
+	dev, err := gpu.DeviceByName(o.device)
+	if err != nil {
+		fmt.Fprintf(stderr, "winograd-bench tune: %v\n", err)
 		return 2
 	}
 

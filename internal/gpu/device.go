@@ -28,108 +28,265 @@ package gpu
 
 import "fmt"
 
+// LatencyTable is a device's fixed-latency instruction timing: the values
+// the paper's Table 2 measures for Volta/Turing and which the control-code
+// scheduling discipline is built around. Zero entries take the paper
+// defaults (see WithDefaults); Validate rejects zeroes in device files so
+// a spec is always explicit about what it claims.
+type LatencyTable struct {
+	// FP32 is the FFMA/FADD/FMUL result latency. Must be coverable by a
+	// control-code stall (≤ 15): FP results are not barrier-signalled.
+	FP32 int `json:"fp32"`
+	// ALU is the fixed-latency integer/ALU result latency (≤ 15, same
+	// stall-coverage requirement).
+	ALU int `json:"alu"`
+	// S2R is the special-register read latency; larger than any stall
+	// field, so S2R results are consumed through a write barrier.
+	S2R int `json:"s2r"`
+	// Smem is the LDS data-return latency after bank service completes.
+	Smem int `json:"smem"`
+	// BarSync is the BAR.SYNC release overhead. Must exceed the maximum
+	// control-code stall (15): the barrier park/release path assumes the
+	// post-release wake time always dominates the pre-park nextIssue.
+	BarSync int `json:"bar_sync"`
+}
+
 // Device describes one GPU model. The microarchitectural constants map to
 // published specifications where available; MIO service rates are the
-// simulator's calibration points.
+// simulator's calibration points. Devices are data: the registry loads
+// them from the JSON files under devices/ (see DeviceByName), Validate
+// gates what a file may claim, and internal/microbench proves each spec
+// against the simulated machine probe by probe.
 type Device struct {
-	Name string
+	Name string `json:"name"`
 
 	// SMs is the number of streaming multiprocessors.
-	SMs int
+	SMs int `json:"sms"`
 	// ClockGHz is the sustained SM clock.
-	ClockGHz float64
+	ClockGHz float64 `json:"clock_ghz"`
 	// SchedulersPerSM is the number of warp schedulers (processing
 	// blocks) per SM; 4 on Volta and Turing.
-	SchedulersPerSM int
+	SchedulersPerSM int `json:"schedulers_per_sm"`
 	// MaxWarpsPerSM bounds resident warps (64 on Volta, 32 on Turing).
-	MaxWarpsPerSM int
+	MaxWarpsPerSM int `json:"max_warps_per_sm"`
 	// RegFileRegs is the per-SM register file in 32-bit registers.
-	RegFileRegs int
+	RegFileRegs int `json:"regfile_regs"`
 	// RegAllocUnit is the register allocation granularity per warp.
-	RegAllocUnit int
+	RegAllocUnit int `json:"reg_alloc_unit"`
 	// MaxSmemPerSM is the shared memory usable per SM in bytes (96 KB on
 	// V100, 64 KB on Turing — the asymmetry behind paper Section 7.1).
-	MaxSmemPerSM int
+	MaxSmemPerSM int `json:"max_smem_per_sm"`
 	// MaxBlocksPerSM bounds resident thread blocks per SM.
-	MaxBlocksPerSM int
+	MaxBlocksPerSM int `json:"max_blocks_per_sm"`
 
 	// L2LatencyCycles and DRAMLatencyCycles are load-return latencies.
-	L2LatencyCycles, DRAMLatencyCycles int
+	L2LatencyCycles   int `json:"l2_latency_cycles"`
+	DRAMLatencyCycles int `json:"dram_latency_cycles"`
 	// L2SizeBytes is the device L2 capacity (modelled per-SM as an equal
 	// slice).
-	L2SizeBytes int
+	L2SizeBytes int `json:"l2_size_bytes"`
 	// DRAMBandwidthGBs is the aggregate DRAM bandwidth.
-	DRAMBandwidthGBs float64
+	DRAMBandwidthGBs float64 `json:"dram_bandwidth_gbs"`
 
 	// MIOQueueDepth is the per-SM shared-memory instruction queue
 	// capacity. When full, warps whose next instruction is an LDS/STS
 	// cannot issue — the back-pressure behind the STS spacing study.
-	MIOQueueDepth int
+	MIOQueueDepth int `json:"mio_queue_depth"`
 	// MSHRs bounds outstanding global-memory accesses per SM (miss
 	// status holding registers). A global load holds its slot until the
 	// data returns, so bursts of LDGs exhaust the slots and stall the
 	// issuing warps — the back-pressure behind the LDG spacing study.
-	MSHRs int
-	// SmemBytesPerCycle is the shared-memory pipe width (128 on both).
-	SmemBytesPerCycle int
+	MSHRs int `json:"mshrs"`
+	// SmemBytesPerCycle is the shared-memory pipe width (128 on both
+	// paper devices): the bytes one service phase can move, which sets
+	// how many lanes of a wide access share a phase.
+	SmemBytesPerCycle int `json:"smem_bytes_per_cycle"`
 	// LDGServiceCycles is the MIO occupancy of one coalesced global
 	// load/store warp instruction (address generation + tag path).
-	LDGServiceCycles int
+	LDGServiceCycles int `json:"ldg_service_cycles"`
+	// SmemBanks is the number of 4-byte shared-memory banks (32 on every
+	// modelled device; power of two ≤ 32).
+	SmemBanks int `json:"smem_banks"`
+	// FP32Lanes is the FP32 datapath width per scheduler: a 32-lane warp
+	// occupies the FP32 pipe for 32/FP32Lanes cycles. 16 on Volta/Turing
+	// (two-cycle issue), 32 on Ampere-class parts.
+	FP32Lanes int `json:"fp32_lanes"`
+
+	// Lat is the fixed-latency instruction timing table.
+	Lat LatencyTable `json:"lat"`
 }
 
 // V100 returns the Volta Tesla V100 (SXM2) model used in the paper.
-func V100() Device {
-	return Device{
-		Name:              "V100",
-		SMs:               80,
-		ClockGHz:          1.53,
-		SchedulersPerSM:   4,
-		MaxWarpsPerSM:     64,
-		RegFileRegs:       65536,
-		RegAllocUnit:      256,
-		MaxSmemPerSM:      96 * 1024,
-		MaxBlocksPerSM:    32,
-		L2LatencyCycles:   200,
-		DRAMLatencyCycles: 450,
-		L2SizeBytes:       6 * 1024 * 1024,
-		DRAMBandwidthGBs:  900,
-		MIOQueueDepth:     10,
-		MSHRs:             64,
-		SmemBytesPerCycle: 128,
-		LDGServiceCycles:  2,
-	}
-}
+func V100() Device { return mustDevice("v100") }
 
 // RTX2070 returns the Turing RTX 2070 model used in the paper.
-func RTX2070() Device {
-	return Device{
-		Name:              "RTX2070",
-		SMs:               36,
-		ClockGHz:          1.62,
-		SchedulersPerSM:   4,
-		MaxWarpsPerSM:     32,
-		RegFileRegs:       65536,
-		RegAllocUnit:      256,
-		MaxSmemPerSM:      64 * 1024,
-		MaxBlocksPerSM:    16,
-		L2LatencyCycles:   200,
-		DRAMLatencyCycles: 400,
-		L2SizeBytes:       4 * 1024 * 1024,
-		DRAMBandwidthGBs:  448,
-		MIOQueueDepth:     10,
-		MSHRs:             64,
-		SmemBytesPerCycle: 128,
-		LDGServiceCycles:  2,
-	}
+func RTX2070() Device { return mustDevice("rtx2070") }
+
+// FP32LanesPerScheduler is the Volta/Turing FP32 datapath width — the
+// default when a Device leaves FP32Lanes zero: a 32-lane warp occupies the
+// FP32 pipe for two cycles.
+const FP32LanesPerScheduler = 16
+
+// Paper-default model parameters, applied by WithDefaults wherever a
+// hand-built Device leaves a field zero. These are the measured
+// Volta/Turing values the schedule discipline (and sasscheck's static
+// tables) are built around.
+var paperDefaults = Device{
+	MIOQueueDepth:     10,
+	MSHRs:             96,
+	SmemBytesPerCycle: 128,
+	LDGServiceCycles:  2,
+	SmemBanks:         smemBanks,
+	FP32Lanes:         FP32LanesPerScheduler,
+	Lat: LatencyTable{
+		FP32:    fpLatency,
+		ALU:     intLatency,
+		S2R:     s2rLatency,
+		Smem:    smemLatency,
+		BarSync: barLatency,
+	},
 }
 
-// FP32LanesPerScheduler is fixed at 16 on Volta and Turing: a 32-lane warp
-// occupies the FP32 pipe for two cycles.
-const FP32LanesPerScheduler = 16
+// WithDefaults returns d with every zero-valued model parameter replaced
+// by the paper's Volta/Turing default, so hand-built test devices keep
+// working while device files stay explicit. NewSim applies it; callers
+// computing expectations from a spec should too.
+func (d Device) WithDefaults() Device {
+	if d.MIOQueueDepth <= 0 {
+		d.MIOQueueDepth = paperDefaults.MIOQueueDepth
+	}
+	if d.MSHRs <= 0 {
+		d.MSHRs = paperDefaults.MSHRs
+	}
+	if d.SmemBytesPerCycle <= 0 {
+		d.SmemBytesPerCycle = paperDefaults.SmemBytesPerCycle
+	}
+	if d.LDGServiceCycles <= 0 {
+		d.LDGServiceCycles = paperDefaults.LDGServiceCycles
+	}
+	if d.SmemBanks <= 0 {
+		d.SmemBanks = paperDefaults.SmemBanks
+	}
+	if d.FP32Lanes <= 0 {
+		d.FP32Lanes = paperDefaults.FP32Lanes
+	}
+	if d.Lat.FP32 <= 0 {
+		d.Lat.FP32 = paperDefaults.Lat.FP32
+	}
+	if d.Lat.ALU <= 0 {
+		d.Lat.ALU = paperDefaults.Lat.ALU
+	}
+	if d.Lat.S2R <= 0 {
+		d.Lat.S2R = paperDefaults.Lat.S2R
+	}
+	if d.Lat.Smem <= 0 {
+		d.Lat.Smem = paperDefaults.Lat.Smem
+	}
+	if d.Lat.BarSync <= 0 {
+		d.Lat.BarSync = paperDefaults.Lat.BarSync
+	}
+	return d
+}
+
+// Validate rejects specs the machine model cannot faithfully simulate:
+// zero or negative structural parameters, cache/bank geometries outside
+// the model's fixed layouts, and latency-table entries that break the
+// control-code scheduling invariants. Device files must pass it (the
+// registry enforces this at load); hand-built partial Devices go through
+// WithDefaults instead.
+func (d Device) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("gpu: device has no name")
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("gpu: device %s: %s", d.Name, fmt.Sprintf(format, args...))
+	}
+	if d.SMs < 1 {
+		return fail("SMs %d < 1", d.SMs)
+	}
+	if d.ClockGHz <= 0 {
+		return fail("ClockGHz %g <= 0", d.ClockGHz)
+	}
+	if d.SchedulersPerSM < 1 {
+		return fail("SchedulersPerSM %d < 1", d.SchedulersPerSM)
+	}
+	if d.MaxWarpsPerSM < 1 {
+		return fail("MaxWarpsPerSM %d < 1", d.MaxWarpsPerSM)
+	}
+	if d.RegFileRegs < 1 {
+		return fail("RegFileRegs %d < 1", d.RegFileRegs)
+	}
+	if d.RegAllocUnit < 1 {
+		return fail("RegAllocUnit %d < 1", d.RegAllocUnit)
+	}
+	if d.MaxSmemPerSM < 1 {
+		return fail("MaxSmemPerSM %d < 1", d.MaxSmemPerSM)
+	}
+	if d.MaxBlocksPerSM < 1 {
+		return fail("MaxBlocksPerSM %d < 1", d.MaxBlocksPerSM)
+	}
+	if d.L2LatencyCycles < 1 {
+		return fail("L2LatencyCycles %d < 1", d.L2LatencyCycles)
+	}
+	if d.DRAMLatencyCycles < d.L2LatencyCycles {
+		return fail("DRAMLatencyCycles %d < L2LatencyCycles %d (the miss path adds DRAM−L2 on top of the L2 return)",
+			d.DRAMLatencyCycles, d.L2LatencyCycles)
+	}
+	if d.L2SizeBytes < L2LineBytes*L2Ways {
+		return fail("L2SizeBytes %d < one %d-way set of %d-byte lines", d.L2SizeBytes, L2Ways, L2LineBytes)
+	}
+	if d.DRAMBandwidthGBs <= 0 {
+		return fail("DRAMBandwidthGBs %g <= 0", d.DRAMBandwidthGBs)
+	}
+	if d.MIOQueueDepth < 1 {
+		return fail("MIOQueueDepth %d < 1", d.MIOQueueDepth)
+	}
+	if d.MSHRs < 1 {
+		return fail("MSHRs %d < 1", d.MSHRs)
+	}
+	if d.LDGServiceCycles < 1 {
+		return fail("LDGServiceCycles %d < 1", d.LDGServiceCycles)
+	}
+	if !isPow2(d.SmemBytesPerCycle) || d.SmemBytesPerCycle < 16 || d.SmemBytesPerCycle > 128 {
+		return fail("SmemBytesPerCycle %d is not a power of two in [16, 128]", d.SmemBytesPerCycle)
+	}
+	if !isPow2(d.SmemBanks) || d.SmemBanks > smemBanks {
+		return fail("SmemBanks %d is not a power of two in [1, %d]", d.SmemBanks, smemBanks)
+	}
+	if !isPow2(d.FP32Lanes) || d.FP32Lanes > warpSize {
+		return fail("FP32Lanes %d is not a power of two in [1, %d]", d.FP32Lanes, warpSize)
+	}
+	if d.Lat.FP32 < 1 || d.Lat.FP32 > maxCtrlStall {
+		return fail("Lat.FP32 %d outside [1, %d]: FP results are stall-covered, not barrier-signalled", d.Lat.FP32, maxCtrlStall)
+	}
+	if d.Lat.ALU < 1 || d.Lat.ALU > maxCtrlStall {
+		return fail("Lat.ALU %d outside [1, %d]: ALU results are stall-covered, not barrier-signalled", d.Lat.ALU, maxCtrlStall)
+	}
+	if d.Lat.S2R < 1 {
+		return fail("Lat.S2R %d < 1", d.Lat.S2R)
+	}
+	if d.Lat.Smem < 1 {
+		return fail("Lat.Smem %d < 1", d.Lat.Smem)
+	}
+	if d.Lat.BarSync <= maxCtrlStall {
+		return fail("Lat.BarSync %d <= the maximum control-code stall %d: barrier release must dominate any pre-park stall",
+			d.Lat.BarSync, maxCtrlStall)
+	}
+	return nil
+}
+
+// maxCtrlStall is the largest stall a 4-bit control-code field encodes.
+const maxCtrlStall = 15
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // PeakFP32TFLOPS returns the theoretical single-precision peak.
 func (d Device) PeakFP32TFLOPS() float64 {
-	lanes := float64(d.SchedulersPerSM * FP32LanesPerScheduler * d.SMs)
+	fpl := d.FP32Lanes
+	if fpl <= 0 {
+		fpl = FP32LanesPerScheduler
+	}
+	lanes := float64(d.SchedulersPerSM * fpl * d.SMs)
 	return lanes * 2 * d.ClockGHz / 1000
 }
 

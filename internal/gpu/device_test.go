@@ -2,6 +2,8 @@ package gpu
 
 import (
 	"math"
+	"sort"
+	"strings"
 	"testing"
 )
 
@@ -94,5 +96,129 @@ func TestL2CacheBasics(t *testing.T) {
 	}
 	if c.access(0) {
 		t.Fatal("line 0 should have been evicted (LRU)")
+	}
+}
+
+// TestDeviceValidateRejections exercises every Validate rule with a
+// field value it must reject, mirroring the kernels Config.Validate
+// table, plus the registered devices it must accept.
+func TestDeviceValidateRejections(t *testing.T) {
+	bad := []struct {
+		name   string
+		mutate func(*Device)
+	}{
+		{"empty name", func(d *Device) { d.Name = "" }},
+		{"zero SMs", func(d *Device) { d.SMs = 0 }},
+		{"negative SMs", func(d *Device) { d.SMs = -4 }},
+		{"zero clock", func(d *Device) { d.ClockGHz = 0 }},
+		{"negative clock", func(d *Device) { d.ClockGHz = -1.5 }},
+		{"zero schedulers", func(d *Device) { d.SchedulersPerSM = 0 }},
+		{"zero warp limit", func(d *Device) { d.MaxWarpsPerSM = 0 }},
+		{"zero register file", func(d *Device) { d.RegFileRegs = 0 }},
+		{"zero alloc unit", func(d *Device) { d.RegAllocUnit = 0 }},
+		{"zero smem capacity", func(d *Device) { d.MaxSmemPerSM = 0 }},
+		{"zero block limit", func(d *Device) { d.MaxBlocksPerSM = 0 }},
+		{"zero L2 latency", func(d *Device) { d.L2LatencyCycles = 0 }},
+		{"DRAM latency below L2", func(d *Device) { d.DRAMLatencyCycles = d.L2LatencyCycles - 1 }},
+		{"L2 below one set", func(d *Device) { d.L2SizeBytes = L2LineBytes*L2Ways - 1 }},
+		{"zero bandwidth", func(d *Device) { d.DRAMBandwidthGBs = 0 }},
+		{"zero MIO depth", func(d *Device) { d.MIOQueueDepth = 0 }},
+		{"zero MSHRs", func(d *Device) { d.MSHRs = 0 }},
+		{"zero LDG service", func(d *Device) { d.LDGServiceCycles = 0 }},
+		{"smem pipe too narrow", func(d *Device) { d.SmemBytesPerCycle = 8 }},
+		{"smem pipe too wide", func(d *Device) { d.SmemBytesPerCycle = 256 }},
+		{"smem pipe not a power of two", func(d *Device) { d.SmemBytesPerCycle = 96 }},
+		{"banks not a power of two", func(d *Device) { d.SmemBanks = 24 }},
+		{"too many banks", func(d *Device) { d.SmemBanks = 64 }},
+		{"lanes not a power of two", func(d *Device) { d.FP32Lanes = 24 }},
+		{"too many lanes", func(d *Device) { d.FP32Lanes = 64 }},
+		{"zero FP32 latency", func(d *Device) { d.Lat.FP32 = 0 }},
+		{"FP32 latency above stall range", func(d *Device) { d.Lat.FP32 = maxCtrlStall + 1 }},
+		{"zero ALU latency", func(d *Device) { d.Lat.ALU = 0 }},
+		{"ALU latency above stall range", func(d *Device) { d.Lat.ALU = maxCtrlStall + 1 }},
+		{"zero S2R latency", func(d *Device) { d.Lat.S2R = 0 }},
+		{"zero smem latency", func(d *Device) { d.Lat.Smem = 0 }},
+		{"BarSync within stall range", func(d *Device) { d.Lat.BarSync = maxCtrlStall }},
+	}
+	for _, tc := range bad {
+		d := V100()
+		tc.mutate(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the device", tc.name)
+		}
+	}
+	for _, name := range DeviceNames() {
+		d, err := DeviceByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("registered device %s fails Validate: %v", name, err)
+		}
+	}
+}
+
+// TestDeviceRegistry covers lookup, case-insensitivity, the
+// unknown-name error listing, and duplicate registration.
+func TestDeviceRegistry(t *testing.T) {
+	names := DeviceNames()
+	if len(names) < 4 {
+		t.Fatalf("expected at least 4 registered devices, got %v", names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("DeviceNames not sorted: %v", names)
+	}
+	for _, want := range []string{"v100", "rtx2070", "k20x", "a100"} {
+		if _, err := DeviceByName(want); err != nil {
+			t.Errorf("DeviceByName(%q): %v", want, err)
+		}
+	}
+	upper, err := DeviceByName("V100")
+	if err != nil {
+		t.Fatalf("case-insensitive lookup failed: %v", err)
+	}
+	if upper.Name != "V100" {
+		t.Errorf("lookup returned %q", upper.Name)
+	}
+	_, err = DeviceByName("gtx480")
+	if err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	for _, name := range names {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-device error %q does not list %q", err, name)
+		}
+	}
+	dup := V100()
+	if err := RegisterDevice(dup); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	bad := V100()
+	bad.Name = "broken"
+	bad.SMs = 0
+	if err := RegisterDevice(bad); err == nil {
+		t.Error("invalid registration accepted")
+	}
+}
+
+// TestDeviceWithDefaults checks zero microarchitectural fields inherit
+// the paper defaults while set fields survive.
+func TestDeviceWithDefaults(t *testing.T) {
+	d := Device{Name: "bare", SMs: 1, ClockGHz: 1, SchedulersPerSM: 1,
+		MaxWarpsPerSM: 8, RegFileRegs: 1 << 16, RegAllocUnit: 256,
+		MaxSmemPerSM: 48 << 10, MaxBlocksPerSM: 4, L2LatencyCycles: 100,
+		DRAMLatencyCycles: 200, L2SizeBytes: 1 << 20, DRAMBandwidthGBs: 100}
+	full := d.WithDefaults()
+	if full.MIOQueueDepth == 0 || full.MSHRs == 0 || full.SmemBytesPerCycle == 0 ||
+		full.LDGServiceCycles == 0 || full.SmemBanks == 0 || full.FP32Lanes == 0 ||
+		full.Lat.FP32 == 0 || full.Lat.ALU == 0 || full.Lat.S2R == 0 ||
+		full.Lat.Smem == 0 || full.Lat.BarSync == 0 {
+		t.Fatalf("WithDefaults left zero fields: %+v", full)
+	}
+	if err := full.Validate(); err != nil {
+		t.Fatalf("defaulted device invalid: %v", err)
+	}
+	if full.SMs != 1 || full.L2LatencyCycles != 100 {
+		t.Error("WithDefaults overwrote set fields")
 	}
 }

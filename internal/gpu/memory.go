@@ -50,6 +50,14 @@ func (m *mem) store(addr, v uint32) {
 const l2Line = 128 // bytes per L2 cache line
 const l2Ways = 8
 
+// L2LineBytes and L2Ways expose the fixed L2 geometry the simulator
+// models (line size and set associativity), so calibration replicas and
+// device validation share the exact layout instead of a re-derived copy.
+const (
+	L2LineBytes = l2Line
+	L2Ways      = l2Ways
+)
+
 // l2cache is a set-associative LRU model of one SM's slice of the device
 // L2. Only load timing consults it; data always comes from the flat store
 // (the cache tracks residency, not contents).

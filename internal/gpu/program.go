@@ -29,8 +29,11 @@ type instMeta struct {
 	// isLDG marks global loads, which need an MSHR in addition to a
 	// dispatch-queue slot.
 	isLDG bool
-	// intLat is the fixed result latency for classInt instructions.
-	intLat int64
+	// isS2R marks special-register reads, the one classInt shape with its
+	// own latency-table entry. The latency itself lives on the Device (it
+	// varies per model), so the decoded program stays device-independent
+	// and the process-wide program cache can keep sharing it.
+	isS2R bool
 	// srcRegs/dstRegs are the distinct live register reads/writes, used
 	// by the hazard checker and the register sizing pass.
 	srcRegs []sass.Reg
@@ -66,7 +69,7 @@ type node struct {
 	writeBar int8
 	readBar  int8
 	stall    int64 // max(Ctrl.Stall, 1)
-	intLat   int64
+	isS2R    bool
 	braOfs   int // pc delta of a uniform BRA
 	// mayBank gates the dynamic register-bank-conflict check: false when
 	// the static (no-reuse) live source set can never put three reads in
@@ -157,7 +160,7 @@ func buildProgram(k *cubin.Kernel) (*program, error) {
 			mi.class = classFP
 		case isInt(in.Op):
 			mi.class = classInt
-			mi.intLat = int64(ResultLatency(in.Op))
+			mi.isS2R = in.Op == sass.OpS2R
 		}
 		mi.uniform = in.Pred == sass.PT && !in.PredNeg
 		mi.srcRegs = sourceRegs(in)
@@ -230,7 +233,7 @@ func buildNodes(p *program) {
 		if nd.stall < 1 {
 			nd.stall = 1
 		}
-		nd.intLat = mi.intLat
+		nd.isS2R = mi.isS2R
 		if in.Op == sass.OpBRA {
 			nd.braOfs = int(int32(in.Imm))
 		}

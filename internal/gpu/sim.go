@@ -88,17 +88,9 @@ type smScratch struct {
 
 // NewSim creates a simulator for the given device model.
 func NewSim(dev Device) *Sim {
-	// Zero-valued queue capacities get safe defaults so hand-built test
-	// devices work.
-	if dev.MIOQueueDepth <= 0 {
-		dev.MIOQueueDepth = 10
-	}
-	if dev.MSHRs <= 0 {
-		dev.MSHRs = 96
-	}
-	if dev.LDGServiceCycles <= 0 {
-		dev.LDGServiceCycles = 2
-	}
+	// Zero-valued model parameters get the paper defaults so hand-built
+	// test devices work.
+	dev = dev.WithDefaults()
 	// The L2 is device-shared: concurrently resident blocks on different
 	// SMs read the same filter tiles, so one SM's view of the cache sees
 	// the full capacity (simulated SM instances share this model).
@@ -534,6 +526,21 @@ type smSim struct {
 	smemStamp    []uint32
 	smemGen      uint32
 
+	// Per-instance device timing, copied out of the (defaulted) Device at
+	// newInstance so the issue paths read flat int64 fields instead of
+	// chasing the Device pointer. Both backends consult exactly these.
+	fpLat   int64 // Lat.FP32: FFMA/FADD/FMUL result latency
+	aluLat  int64 // Lat.ALU: integer result latency
+	s2rLat  int64 // Lat.S2R: special-register read latency
+	smemLat int64 // Lat.Smem: LDS data return after bank service
+	barLat  int64 // Lat.BarSync: barrier release overhead
+	fpDur   int64 // FP32 pipe occupancy per warp op: 32/FP32Lanes cycles
+	// smemBanksN/smemBPC parameterize the shared-memory bank model (zero
+	// means paper default, so the zero-value smSim the equivalence test
+	// builds still prices like smemService).
+	smemBanksN uint32
+	smemBPC    uint32
+
 	// prof is the launch's profile collector, nil when profiling is off
 	// (the only state the hot-loop hooks test).
 	prof *launchCollector
@@ -579,6 +586,17 @@ func (lc *launchCtx) newInstance(pools *simPools, blocks []int, l2 *l2cache, col
 		l2:          l2,
 		bwCycles:    perLine,
 		prof:        coll,
+		fpLat:       int64(dev.Lat.FP32),
+		aluLat:      int64(dev.Lat.ALU),
+		s2rLat:      int64(dev.Lat.S2R),
+		smemLat:     int64(dev.Lat.Smem),
+		barLat:      int64(dev.Lat.BarSync),
+		fpDur:       int64(warpSize / dev.FP32Lanes),
+		smemBanksN:  uint32(dev.SmemBanks),
+		smemBPC:     uint32(dev.SmemBytesPerCycle),
+	}
+	if sm.fpDur < 1 {
+		sm.fpDur = 1
 	}
 	if sm.dispQ == nil {
 		sm.dispQ = make([]int64, 0, dev.MIOQueueDepth+1)
@@ -1027,18 +1045,21 @@ func (sm *smSim) issue(sc *scheduler, w *warp) error {
 		if in.Op == sass.OpFFMA {
 			sm.m.FFMAs++
 		}
-		dur := int64(2)
+		dur := sm.fpDur
 		if sm.regBankConflict(w, in) {
 			dur++
 			sm.m.RegBankConflicts++
 		}
 		sc.fpBusyUntil = base + dur
-		sm.m.FPPipeUseful += 2
-		sm.noteFixedWrite(w, mi, fpLatency)
+		sm.m.FPPipeUseful += sm.fpDur
+		sm.noteFixedWrite(w, mi, sm.fpLat)
 	case classInt:
 		sm.m.IntIssued++
 		sc.intBusyUntil = base + 2
-		lat := mi.intLat
+		lat := sm.aluLat
+		if mi.isS2R {
+			lat = sm.s2rLat
+		}
 		sm.noteFixedWrite(w, mi, lat)
 		if in.Ctrl.WriteBar >= 0 {
 			w.barInc(in.Ctrl.WriteBar)
@@ -1085,9 +1106,10 @@ func (sm *smSim) warpBarrier(w *warp) {
 	w.atBar = true
 	// Parked warps carry an infinite nextIssue so the issue scan rejects
 	// them with the same single compare that covers stalled warps;
-	// releaseBarrier restores the real wake time (always now+barLatency:
-	// the pre-park nextIssue is at most issue time + 15, and barLatency
-	// is 30, so the old max() could never pick the pre-park value).
+	// releaseBarrier restores the real wake time (always now+barLat: the
+	// pre-park nextIssue is at most issue time + 15, and Device.Validate
+	// requires Lat.BarSync > 15, so the old max() could never pick the
+	// pre-park value).
 	w.nextIssue = math.MaxInt64
 	blk.barWait++
 	if blk.barWait >= len(blk.warps)-blk.doneWarp {
@@ -1100,7 +1122,7 @@ func (sm *smSim) releaseBarrier(blk *blockState) {
 	for _, bw := range blk.warps {
 		if bw.atBar {
 			bw.atBar = false
-			bw.nextIssue = sm.now + barLatency
+			bw.nextIssue = sm.now + sm.barLat
 		}
 	}
 }
@@ -1179,7 +1201,7 @@ func (sm *smSim) issueMem(w *warp, in *sass.Inst, mi *instMeta, req *memRequest,
 		serviceEnd = start + int64(svc)
 		sm.smemFree = serviceEnd
 		sm.dispQ = append(sm.dispQ, start)
-		dataAt = serviceEnd + smemLatency
+		dataAt = serviceEnd + sm.smemLat
 		if err := sm.moveShared(w, in, req); err != nil {
 			return err
 		}

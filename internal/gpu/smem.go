@@ -85,17 +85,30 @@ const maxStampWords = 1 << 16
 
 // smemServiceFast is smemService with the per-phase duplicate scan
 // replaced by a generation-stamped word table carried on the SM
-// instance. Exactly the same cycle and conflict counts (the equivalence
-// is property-tested against smemService); only the bookkeeping is
-// cheaper: O(lanes) per phase instead of O(lanes²), and the per-bank
-// maximum is tracked inline instead of re-scanned.
+// instance. With the default device parameters it counts exactly the same
+// cycles and conflicts (the equivalence is property-tested against
+// smemService); the bookkeeping is cheaper — O(lanes) per phase instead
+// of O(lanes²), the per-bank maximum tracked inline — and the bank count
+// and pipe width come from the instance's Device, so narrower machines
+// split accesses into more phases and fold more words per bank. Zero
+// fields (the package-level default) price like smemService.
 func (sm *smSim) smemServiceFast(req *memRequest) (cycles, conflictCycles int) {
-	lanesPerPhase := warpSize
-	switch req.width {
-	case sass.W64:
-		lanesPerPhase = 16
-	case sass.W128:
-		lanesPerPhase = 8
+	bpc := int(sm.smemBPC)
+	if bpc == 0 {
+		bpc = 128
+	}
+	banks := sm.smemBanksN
+	if banks == 0 {
+		banks = smemBanks
+	}
+	bankMask := banks - 1
+	// A phase moves at most bpc bytes: bpc/width lanes of a width-byte
+	// access share one phase (clamped to the warp).
+	lanesPerPhase := bpc / (4 * req.width.Regs())
+	if lanesPerPhase < 1 {
+		lanesPerPhase = 1
+	} else if lanesPerPhase > warpSize {
+		lanesPerPhase = warpSize
 	}
 	words := uint32(req.width.Regs())
 	alignMask := ^uint32(req.width - 1)
@@ -141,7 +154,7 @@ func (sm *smSim) smemServiceFast(req *memRequest) (cycles, conflictCycles int) {
 				over = append(over, word)
 			}
 			for j := uint32(0); j < words; j++ {
-				b := (word + j) % smemBanks
+				b := (word + j) & bankMask
 				perBank[b]++
 				if perBank[b] > phase {
 					phase = perBank[b]

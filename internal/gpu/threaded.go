@@ -515,18 +515,21 @@ func (sm *smSim) issueThreaded(sc *scheduler, w *warp) error {
 		if nd.isFFMA {
 			sm.m.FFMAs++
 		}
-		dur := int64(2)
+		dur := sm.fpDur
 		if nd.mayBank && sm.regBankConflict(w, nd.in) {
 			dur++
 			sm.m.RegBankConflicts++
 		}
 		sc.fpBusyUntil = base + dur
-		sm.m.FPPipeUseful += 2
-		sm.noteFixedWrite(w, nd.mi, fpLatency)
+		sm.m.FPPipeUseful += sm.fpDur
+		sm.noteFixedWrite(w, nd.mi, sm.fpLat)
 	case classInt:
 		sm.m.IntIssued++
 		sc.intBusyUntil = base + 2
-		lat := nd.intLat
+		lat := sm.aluLat
+		if nd.isS2R {
+			lat = sm.s2rLat
+		}
 		sm.noteFixedWrite(w, nd.mi, lat)
 		if nd.writeBar >= 0 {
 			w.barInc(nd.writeBar)

@@ -70,19 +70,35 @@ func diffMetrics(t *testing.T, tag string, want, got *gpu.Metrics) {
 
 // TestBackendDifferentialSweep runs full functional convolutions across
 // the sweep's scheduling knobs on every backend x workers variant and
-// requires bit-identical metrics, outputs, and profiles.
+// requires bit-identical metrics, outputs, and profiles. The knob cases
+// run on the reference RTX2070; the default-config case additionally
+// runs on every other registered device, so a new device file is held
+// to the same backend-equivalence contract the day it lands.
 func TestBackendDifferentialSweep(t *testing.T) {
-	cases := []struct {
+	type sweepCase struct {
 		name     string
+		dev      gpu.Device
 		cfg      Config
 		p        Problem
 		mainOnly bool
-	}{
-		{"bk64", Config{BK: 64, UseP2R: true}, Problem{C: 16, K: 64, N: 32, H: 8, W: 8}, false},
-		{"bk32", Config{BK: 32, UseP2R: true, DeclaredSmem: 48 * 1024}, Problem{C: 16, K: 64, N: 32, H: 8, W: 8}, false},
-		{"yield4-mainloop", Config{BK: 64, YieldEvery: 4, LDGGap: 4, STSGap: 3, UseP2R: true}, Problem{C: 16, K: 64, N: 32, H: 4, W: 4}, true},
 	}
-	dev := gpu.RTX2070()
+	rtx := gpu.RTX2070()
+	cases := []sweepCase{
+		{"bk64", rtx, Config{BK: 64, UseP2R: true}, Problem{C: 16, K: 64, N: 32, H: 8, W: 8}, false},
+		{"bk32", rtx, Config{BK: 32, UseP2R: true, DeclaredSmem: 48 * 1024}, Problem{C: 16, K: 64, N: 32, H: 8, W: 8}, false},
+		{"yield4-mainloop", rtx, Config{BK: 64, YieldEvery: 4, LDGGap: 4, STSGap: 3, UseP2R: true}, Problem{C: 16, K: 64, N: 32, H: 4, W: 4}, true},
+	}
+	for _, name := range gpu.DeviceNames() {
+		if name == "rtx2070" {
+			continue // already the reference device of the knob cases
+		}
+		dev, err := gpu.DeviceByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, sweepCase{"bk64-" + name, dev,
+			Config{BK: 64, UseP2R: true}, Problem{C: 16, K: 64, N: 32, H: 8, W: 8}, false})
+	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			in := tensor.NewImage(tensor.CHWN, tensor.Shape4{N: tc.p.N, C: tc.p.C, H: tc.p.H, W: tc.p.W})
@@ -97,7 +113,7 @@ func TestBackendDifferentialSweep(t *testing.T) {
 			var ref outcome
 			for _, v := range diffVariants {
 				prof := gpu.NewProfiler()
-				res, err := RunConvWith(dev, tc.cfg, tc.p, ConvOpts{
+				res, err := RunConvWith(tc.dev, tc.cfg, tc.p, ConvOpts{
 					In: in, Flt: flt, MainLoopOnly: tc.mainOnly, Prof: prof, Sim: v.sim,
 				})
 				if err != nil {

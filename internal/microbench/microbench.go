@@ -1,0 +1,218 @@
+// Package microbench is the simulator's standing calibration oracle: a
+// suite of tiny generated SASS probe kernels, each designed so that one
+// effective machine parameter can be read back from the simulator's
+// Metrics (an issue-latency boundary, a queue-depth boundary, a
+// bandwidth slope, a cache hit pattern, an occupancy point). Calibrate
+// runs every probe through gpu.Sim and asserts the extracted value
+// against the corresponding gpu.Device field.
+//
+// The point is anti-drift: the Device files under internal/gpu/devices
+// claim machine parameters, and the simulator consumes them through many
+// layers of timing code. A probe ties the two ends together — if either
+// the spec value or the timing code that is supposed to realize it
+// changes, at least one probe assertion breaks (the perturbation test in
+// this package proves that field by field). See DESIGN.md §13 for the
+// probe designs and the tolerance policy.
+//
+// Probes measure slopes and boundaries rather than absolute cycle
+// counts wherever possible, so constant overheads (block start, EXIT
+// drain) cancel and the expected values stay closed-form.
+package microbench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/cubin"
+	"repro/internal/gpu"
+	"repro/internal/turingas"
+)
+
+// Options configures a calibration run.
+type Options struct {
+	// Machine, when non-nil, is the device the simulator actually runs
+	// with; expectations are still derived from the spec passed to
+	// Calibrate. The calibration tests use this to prove sensitivity:
+	// perturb one Machine field and at least one probe must fail. Nil
+	// means the machine is the spec itself (the normal CI mode).
+	Machine *gpu.Device
+	// Backend selects the execution engine for every probe launch.
+	Backend gpu.Backend
+}
+
+// Result is one probe assertion: the value extracted from the simulator
+// (Measured) against the value the device spec implies (Expected).
+type Result struct {
+	Probe    string  // probe name, unique per Result
+	Field    string  // the Device JSON field(s) this probe pins down
+	Measured float64 // value extracted from simulator Metrics
+	Expected float64 // value derived from the device spec
+	Tol      float64 // |Measured-Expected| beyond this fails
+	OK       bool
+	Detail   string // what the number is, for the report
+}
+
+// Calibrate runs the full probe suite for the device spec and returns
+// one Result per assertion, in a fixed order. The spec must validate.
+func Calibrate(spec gpu.Device, opt Options) ([]Result, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	machine := spec
+	if opt.Machine != nil {
+		machine = opt.Machine.WithDefaults()
+		if err := machine.Validate(); err != nil {
+			return nil, fmt.Errorf("microbench: machine device: %w", err)
+		}
+	}
+	c := &calib{spec: spec, machine: machine, backend: opt.Backend}
+	probes := []func() error{
+		c.probeSMs,
+		c.probeSchedulers,
+		c.probeLatFP32,
+		c.probeLatALU,
+		c.probeLatS2R,
+		c.probeLatSmem,
+		c.probeLatBarSync,
+		c.probeFP32Lanes,
+		c.probeLDGService,
+		c.probeL2Latency,
+		c.probeDRAMLatency,
+		c.probeDRAMBandwidth,
+		c.probeMIODepth,
+		c.probeMSHRs,
+		c.probeSmemBPC,
+		c.probeSmemBanks,
+		c.probeL2Rings,
+		c.probeL2Footprint,
+		c.probeOccupancy,
+	}
+	for _, p := range probes {
+		if err := p(); err != nil {
+			return nil, err
+		}
+	}
+	return c.results, nil
+}
+
+// Pass reports whether every Result is within tolerance.
+func Pass(results []Result) bool {
+	for _, r := range results {
+		if !r.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Report renders the results as a fixed-width table, one probe per
+// line, deterministic for identical inputs.
+func Report(results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-22s %12s %12s %6s  %s\n",
+		"probe", "field", "measured", "expected", "ok", "detail")
+	for _, r := range results {
+		ok := "ok"
+		if !r.OK {
+			ok = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-18s %-22s %12g %12g %6s  %s\n",
+			r.Probe, r.Field, r.Measured, r.Expected, ok, r.Detail)
+	}
+	return b.String()
+}
+
+// Failures lists the failing probes, for error messages.
+func Failures(results []Result) []string {
+	var out []string
+	for _, r := range results {
+		if !r.OK {
+			out = append(out, fmt.Sprintf("%s: measured %g, expected %g (±%g)",
+				r.Probe, r.Measured, r.Expected, r.Tol))
+		}
+	}
+	return out
+}
+
+// calib carries one calibration run's state.
+type calib struct {
+	spec    gpu.Device // expectations come from here
+	machine gpu.Device // the simulator runs this
+	backend gpu.Backend
+	results []Result
+}
+
+// add records one assertion.
+func (c *calib) add(probe, field string, measured, expected, tol float64, detail string) {
+	d := measured - expected
+	if d < 0 {
+		d = -d
+	}
+	c.results = append(c.results, Result{
+		Probe: probe, Field: field,
+		Measured: measured, Expected: expected, Tol: tol,
+		OK:     d <= tol,
+		Detail: detail,
+	})
+}
+
+// newSim builds a probe simulator on the machine device.
+func (c *calib) newSim() *gpu.Sim {
+	s := gpu.NewSim(c.machine)
+	s.Backend = c.backend
+	s.Workers = 1
+	return s
+}
+
+// kernelCache dedupes assembled probe kernels by source text. Probe
+// sources are deterministic, so the same kernel is reused across
+// devices, backends, and the perturbation sweeps; this also keeps the
+// simulator's decoded-program cache (identity-keyed, never evicted)
+// bounded by the number of distinct probe shapes.
+var kernelCache sync.Map
+
+func probeKernel(src string) (*cubin.Kernel, error) {
+	if v, ok := kernelCache.Load(src); ok {
+		return v.(*cubin.Kernel), nil
+	}
+	k, err := turingas.AssembleKernel(src)
+	if err != nil {
+		return nil, fmt.Errorf("microbench: assembling probe: %w\n%s", err, src)
+	}
+	v, _ := kernelCache.LoadOrStore(src, k)
+	return v.(*cubin.Kernel), nil
+}
+
+// launch assembles src (cached) and runs it, returning the metrics.
+func (c *calib) launch(s *gpu.Sim, src string, opts gpu.LaunchOpts) (*gpu.Metrics, error) {
+	k, err := probeKernel(src)
+	if err != nil {
+		return nil, err
+	}
+	m, err := s.Launch(k, opts)
+	if err != nil {
+		return nil, fmt.Errorf("microbench: probe launch: %w", err)
+	}
+	return m, nil
+}
+
+// cycles runs a single-block probe kernel and returns total cycles.
+func (c *calib) cycles(s *gpu.Sim, src string, block int, params []uint32) (int64, *gpu.Metrics, error) {
+	m, err := c.launch(s, src, gpu.LaunchOpts{Grid: 1, Block: block, Params: params})
+	if err != nil {
+		return 0, nil, err
+	}
+	return m.Cycles, m, nil
+}
+
+// fpDur is the FP32 pipe occupancy per warp instruction for a device:
+// a warp is 32 lanes wide, the pipe FP32Lanes per scheduler.
+func fpDur(d gpu.Device) int {
+	n := 32 / d.FP32Lanes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

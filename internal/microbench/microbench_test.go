@@ -1,0 +1,125 @@
+package microbench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+// TestCalibrateAllDevices is the anti-drift oracle: every registered
+// device file must pass the full probe suite on both execution
+// backends.
+func TestCalibrateAllDevices(t *testing.T) {
+	for _, name := range gpu.DeviceNames() {
+		dev, err := gpu.DeviceByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, be := range []gpu.Backend{gpu.BackendThreaded, gpu.BackendSwitch} {
+			t.Run(name+"/"+be.String(), func(t *testing.T) {
+				res, err := Calibrate(dev, Options{Backend: be})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !Pass(res) {
+					t.Errorf("calibration failed:\n%s", Report(res))
+				}
+			})
+		}
+	}
+}
+
+// TestPerturbationDetected proves probe sensitivity field by field:
+// running the suite with a machine that differs from the spec in any
+// single Device field must fail at least one probe. (Name is the one
+// field with no timing meaning and is excluded.)
+func TestPerturbationDetected(t *testing.T) {
+	base, err := gpu.DeviceByName("v100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbs := []struct {
+		name string
+		mut  func(d *gpu.Device)
+	}{
+		{"sms-1", func(d *gpu.Device) { d.SMs-- }},
+		{"clock*1.25", func(d *gpu.Device) { d.ClockGHz *= 1.25 }},
+		{"schedulers-1", func(d *gpu.Device) { d.SchedulersPerSM-- }},
+		{"max_warps-1", func(d *gpu.Device) { d.MaxWarpsPerSM-- }},
+		{"regfile-1", func(d *gpu.Device) { d.RegFileRegs-- }},
+		{"alloc_unit/4", func(d *gpu.Device) { d.RegAllocUnit = 64 }},
+		{"max_smem-1", func(d *gpu.Device) { d.MaxSmemPerSM-- }},
+		{"max_blocks-1", func(d *gpu.Device) { d.MaxBlocksPerSM-- }},
+		{"l2_latency+1", func(d *gpu.Device) { d.L2LatencyCycles++ }},
+		{"dram_latency+1", func(d *gpu.Device) { d.DRAMLatencyCycles++ }},
+		{"l2_size*2", func(d *gpu.Device) { d.L2SizeBytes *= 2 }},
+		{"l2_size/2", func(d *gpu.Device) { d.L2SizeBytes /= 2 }},
+		{"bandwidth*0.8", func(d *gpu.Device) { d.DRAMBandwidthGBs *= 0.8 }},
+		{"mio_depth-1", func(d *gpu.Device) { d.MIOQueueDepth-- }},
+		{"mio_depth+1", func(d *gpu.Device) { d.MIOQueueDepth++ }},
+		{"mshrs-1", func(d *gpu.Device) { d.MSHRs-- }},
+		{"smem_bpc/2", func(d *gpu.Device) { d.SmemBytesPerCycle = 64 }},
+		{"ldg_service+1", func(d *gpu.Device) { d.LDGServiceCycles++ }},
+		{"smem_banks/2", func(d *gpu.Device) { d.SmemBanks = 16 }},
+		{"fp32_lanes*2", func(d *gpu.Device) { d.FP32Lanes = 32 }},
+		{"lat_fp32+1", func(d *gpu.Device) { d.Lat.FP32++ }},
+		{"lat_alu+1", func(d *gpu.Device) { d.Lat.ALU++ }},
+		{"lat_s2r+1", func(d *gpu.Device) { d.Lat.S2R++ }},
+		{"lat_smem+1", func(d *gpu.Device) { d.Lat.Smem++ }},
+		{"lat_barsync+1", func(d *gpu.Device) { d.Lat.BarSync++ }},
+	}
+	for _, p := range perturbs {
+		t.Run(p.name, func(t *testing.T) {
+			machine := base
+			p.mut(&machine)
+			res, err := Calibrate(base, Options{Machine: &machine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Pass(res) {
+				t.Errorf("perturbation %s not detected by any probe:\n%s", p.name, Report(res))
+			}
+		})
+	}
+}
+
+// TestReportDeterministic pins the report format: identical runs must
+// render byte-identical reports (the calibrate CLI golden depends on
+// this).
+func TestReportDeterministic(t *testing.T) {
+	dev, err := gpu.DeviceByName("rtx2070")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Calibrate(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Calibrate(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Report(r1) != Report(r2) {
+		t.Error("reports differ across identical runs")
+	}
+	if !strings.Contains(Report(r1), "lat_fp32") {
+		t.Error("report missing probe rows")
+	}
+}
+
+// TestCalibrateRejectsInvalidSpec checks the spec is validated before
+// any probe runs.
+func TestCalibrateRejectsInvalidSpec(t *testing.T) {
+	dev, _ := gpu.DeviceByName("v100")
+	dev.SMs = 0
+	if _, err := Calibrate(dev, Options{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	dev, _ = gpu.DeviceByName("v100")
+	bad := dev
+	bad.SmemBanks = 24
+	if _, err := Calibrate(dev, Options{Machine: &bad}); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}

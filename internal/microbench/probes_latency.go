@@ -1,0 +1,241 @@
+package microbench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gpu"
+)
+
+// trivialKernel is the empty probe: occupancy and SM-count probes only
+// need the launch bookkeeping, not any instructions.
+func trivialKernel(regs, smem int) string {
+	var b strings.Builder
+	b.WriteString(".kernel probe\n")
+	if regs > 0 {
+		fmt.Fprintf(&b, ".regs %d\n", regs)
+	}
+	if smem > 0 {
+		fmt.Fprintf(&b, ".smem %d\n", smem)
+	}
+	b.WriteString("--:-:-:-:5 EXIT;\n.endkernel\n")
+	return b.String()
+}
+
+// probeSMs launches more blocks than any plausible machine has SMs and
+// reads back how many SM instances the launch actually spread over.
+func (c *calib) probeSMs() error {
+	s := c.newSim()
+	m, err := c.launch(s, trivialKernel(0, 0), gpu.LaunchOpts{Grid: 2 * c.spec.SMs, Block: 32})
+	if err != nil {
+		return err
+	}
+	c.add("sms", "sms", float64(m.SimSMs), float64(c.spec.SMs), 0,
+		"SM instances used by a launch of 2x sms blocks")
+	return nil
+}
+
+// probeSchedulers reads the scheduler count back out of the
+// SchedCycles/Cycles ratio of a single-block launch.
+func (c *calib) probeSchedulers() error {
+	s := c.newSim()
+	cyc, m, err := c.cycles(s, trivialKernel(0, 0), 32, nil)
+	if err != nil {
+		return err
+	}
+	c.add("schedulers", "schedulers_per_sm",
+		float64(m.SchedCycles)/float64(cyc), float64(c.spec.SchedulersPerSM), 0,
+		"SchedCycles / Cycles of a one-block launch")
+	return nil
+}
+
+// hazardChain builds n copies of one dependent instruction with stall
+// count s, followed by EXIT.
+func hazardChain(inst string, n, s int) string {
+	var b strings.Builder
+	b.WriteString(".kernel probe\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "--:-:-:-:%d %s;\n", s, inst)
+	}
+	b.WriteString("--:-:-:-:5 EXIT;\n.endkernel\n")
+	return b.String()
+}
+
+// minCleanStall searches stall counts 1..15 for the smallest one under
+// which a read-after-write chain of inst produces no hazard violations.
+// That boundary is the instruction class's result latency — unless the
+// pipe itself spaces issues wider than the latency, in which case every
+// stall is clean and the boundary degenerates to 1 (the caller folds
+// that into the expected value).
+func (c *calib) minCleanStall(inst string, floor int) (int, error) {
+	for s := 1; s <= 15; s++ {
+		if s > 1 && s < floor {
+			continue // spacing is max(stall, floor): same timing as stall=1
+		}
+		sim := c.newSim()
+		sim.HazardCheck = true
+		_, m, err := c.cycles(sim, hazardChain(inst, 8, s), 32, nil)
+		if err != nil {
+			return 0, err
+		}
+		if len(m.HazardViolations) == 0 {
+			return s, nil
+		}
+	}
+	return 16, nil
+}
+
+// probeLatFP32 finds the FP32 result latency as the smallest stall that
+// keeps a dependent FFMA chain hazard-free.
+func (c *calib) probeLatFP32() error {
+	// FFMA R4 <- R4*R5+R4: two live source registers, so the chain can
+	// never pay a register-bank conflict that would widen the spacing.
+	got, err := c.minCleanStall("FFMA R4, R4, R5, R4", fpDur(c.machine))
+	if err != nil {
+		return err
+	}
+	want := 1
+	if c.spec.Lat.FP32 > fpDur(c.spec) {
+		want = c.spec.Lat.FP32
+	}
+	c.add("lat_fp32", "lat.fp32", float64(got), float64(want), 0,
+		"min stall with a hazard-free dependent FFMA chain")
+	return nil
+}
+
+// probeLatALU does the same for the integer ALU (the int pipe re-issues
+// every 2 cycles, so a latency of <=2 degenerates to stall 1).
+func (c *calib) probeLatALU() error {
+	got, err := c.minCleanStall("IADD3 R4, R4, 0x1, RZ", 2)
+	if err != nil {
+		return err
+	}
+	want := 1
+	if c.spec.Lat.ALU > 2 {
+		want = c.spec.Lat.ALU
+	}
+	c.add("lat_alu", "lat.alu", float64(got), float64(want), 0,
+		"min stall with a hazard-free dependent IADD3 chain")
+	return nil
+}
+
+// barPairChain builds n (producer, bar-waiting consumer) pairs.
+func barPairChain(producer, consumer string, n int) string {
+	var b strings.Builder
+	b.WriteString(".kernel probe\n")
+	if strings.Contains(producer, "LDS") {
+		b.WriteString(".smem 16\n")
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "--:-:0:-:1 %s;\n", producer)
+		fmt.Fprintf(&b, "01:-:-:-:1 %s;\n", consumer)
+	}
+	b.WriteString("--:-:-:-:5 EXIT;\n.endkernel\n")
+	return b.String()
+}
+
+// pairSlope measures the per-pair cycle cost of a producer/consumer
+// chain as a slope between two chain lengths, cancelling launch
+// overhead.
+func (c *calib) pairSlope(producer, consumer string, n1, n2 int) (float64, error) {
+	s1 := c.newSim()
+	c1, _, err := c.cycles(s1, barPairChain(producer, consumer, n1), 32, nil)
+	if err != nil {
+		return 0, err
+	}
+	s2 := c.newSim()
+	c2, _, err := c.cycles(s2, barPairChain(producer, consumer, n2), 32, nil)
+	if err != nil {
+		return 0, err
+	}
+	return float64(c2-c1) / float64(n2-n1), nil
+}
+
+// probeLatS2R measures the S2R result latency through its write
+// barrier: each pair costs max(s2r, 2) cycles for the barrier release
+// plus 2 cycles of int-pipe turnaround.
+func (c *calib) probeLatS2R() error {
+	slope, err := c.pairSlope("S2R R4, SR_LANEID", "IADD3 R5, R4, 0x1, RZ", 2, 8)
+	if err != nil {
+		return err
+	}
+	want := c.spec.Lat.S2R
+	if want < 2 {
+		want = 2
+	}
+	c.add("lat_s2r", "lat.s2r", slope-2, float64(want), 0,
+		"S2R->dependent-IADD3 pair cycles minus int turnaround")
+	return nil
+}
+
+// probeLatSmem measures the shared-memory load-to-use latency: each
+// pair costs 1 (dispatch) + 1 (broadcast service) + smem latency + 1
+// (consumer issue to next load).
+func (c *calib) probeLatSmem() error {
+	slope, err := c.pairSlope("LDS.32 R4, [RZ]", "IADD3 R5, R4, 0x1, RZ", 2, 8)
+	if err != nil {
+		return err
+	}
+	c.add("lat_smem", "lat.smem", slope-3, float64(c.spec.Lat.Smem), 0,
+		"LDS->dependent-IADD3 pair cycles minus dispatch+service+issue")
+	return nil
+}
+
+// barSyncChain is n back-to-back BAR.SYNCs.
+func barSyncChain(n int) string {
+	var b strings.Builder
+	b.WriteString(".kernel probe\n")
+	for i := 0; i < n; i++ {
+		b.WriteString("--:-:-:-:1 BAR.SYNC;\n")
+	}
+	b.WriteString("--:-:-:-:5 EXIT;\n.endkernel\n")
+	return b.String()
+}
+
+// probeLatBarSync measures the barrier turnaround of a single-warp
+// block, where every BAR.SYNC self-releases after the full barrier
+// latency.
+func (c *calib) probeLatBarSync() error {
+	s1 := c.newSim()
+	c1, _, err := c.cycles(s1, barSyncChain(1), 32, nil)
+	if err != nil {
+		return err
+	}
+	s2 := c.newSim()
+	c2, _, err := c.cycles(s2, barSyncChain(5), 32, nil)
+	if err != nil {
+		return err
+	}
+	c.add("lat_barsync", "lat.bar_sync", float64(c2-c1)/4, float64(c.spec.Lat.BarSync), 0,
+		"cycles per BAR.SYNC in a single-warp block")
+	return nil
+}
+
+// probeFP32Lanes measures the FP32 pipe width as the issue spacing of
+// independent FFMAs: a warp occupies the pipe for 32/fp32_lanes cycles.
+func (c *calib) probeFP32Lanes() error {
+	// R5,R6,R7 mix register-bank parities, so the static conflict
+	// filter proves no bank conflict can widen the spacing.
+	chain := func(n int) string {
+		var b strings.Builder
+		b.WriteString(".kernel probe\n")
+		for i := 0; i < n; i++ {
+			b.WriteString("--:-:-:-:1 FFMA R4, R5, R6, R7;\n")
+		}
+		b.WriteString("--:-:-:-:5 EXIT;\n.endkernel\n")
+		return b.String()
+	}
+	s1 := c.newSim()
+	c1, _, err := c.cycles(s1, chain(16), 32, nil)
+	if err != nil {
+		return err
+	}
+	s2 := c.newSim()
+	c2, _, err := c.cycles(s2, chain(48), 32, nil)
+	if err != nil {
+		return err
+	}
+	c.add("fp32_lanes", "fp32_lanes", float64(c2-c1)/32, float64(fpDur(c.spec)), 0,
+		"cycles per independent FFMA (= 32/fp32_lanes)")
+	return nil
+}

@@ -1,0 +1,494 @@
+package microbench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gpu"
+)
+
+// bwLineCycles is the DRAM transfer cost of one 128-byte line in SM
+// cycles, per-SM share — the exact expression (and truncation) the
+// simulator applies, so expectations match to the cycle.
+func bwLineCycles(d gpu.Device) int64 {
+	perLine := float64(gpu.L2LineBytes) / (d.DRAMBandwidthGBs / d.ClockGHz / float64(d.SMs))
+	return int64(perLine)
+}
+
+// l2Sets is the set count of a device's L2 with the simulator's fixed
+// line size and associativity.
+func l2Sets(d gpu.Device) int {
+	sets := d.L2SizeBytes / gpu.L2LineBytes / gpu.L2Ways
+	if sets < 1 {
+		sets = 1
+	}
+	return sets
+}
+
+// stsPhases is the service cost of a broadcast STS.128 in cycles: the
+// smem pipe moves SmemBytesPerCycle bytes per cycle, a 128-bit lane
+// access is 16 bytes, and a broadcast phase costs one cycle.
+func stsPhases(d gpu.Device) int {
+	lanes := d.SmemBytesPerCycle / 16
+	if lanes < 1 {
+		lanes = 1
+	} else if lanes > 32 {
+		lanes = 32
+	}
+	return (32 + lanes - 1) / lanes
+}
+
+// chaseKernel is a serial pointer chase: each LDG loads the address of
+// the next hop into its own address register and the next hop waits on
+// the load's write barrier. One memory access in flight at a time.
+func chaseKernel(hops int) string {
+	var b strings.Builder
+	b.WriteString(".kernel probe\n.params 8\n")
+	b.WriteString("--:-:-:-:2 MOV R4, c[0x0][0x160];\n")
+	b.WriteString("--:-:0:-:2 LDG.32 R4, [R4];\n")
+	for i := 1; i < hops; i++ {
+		b.WriteString("01:-:0:-:2 LDG.32 R4, [R4];\n")
+	}
+	b.WriteString("01:-:-:-:5 EXIT;\n.endkernel\n")
+	return b.String()
+}
+
+// writeRing allocates lines cache lines spaced strideBytes apart and
+// links them into a cyclic pointer ring.
+func writeRing(s *gpu.Sim, lines, strideBytes int) gpu.Buffer {
+	buf := s.Alloc((lines-1)*strideBytes + gpu.L2LineBytes)
+	for i := 0; i < lines; i++ {
+		next := buf.Addr + uint32(((i+1)%lines)*strideBytes)
+		s.WriteU32(buf.Addr+uint32(i*strideBytes), []uint32{next})
+	}
+	return buf
+}
+
+// probeL2Latency chases a 16-line ring that stays L2-resident: after a
+// warming launch every hop hits, so the per-hop cost is exactly
+// 1 (dispatch) + ldg_service + l2_latency.
+func (c *calib) probeL2Latency() error {
+	s := c.newSim()
+	buf := writeRing(s, 16, gpu.L2LineBytes)
+	params := []uint32{buf.Addr}
+	if _, err := c.launch(s, chaseKernel(40), gpu.LaunchOpts{Grid: 1, Block: 32, Params: params}); err != nil {
+		return err // warm: all 16 lines resident
+	}
+	c1, _, err := c.cycles(s, chaseKernel(8), 32, params)
+	if err != nil {
+		return err
+	}
+	c2, _, err := c.cycles(s, chaseKernel(40), 32, params)
+	if err != nil {
+		return err
+	}
+	slope := float64(c2-c1) / 32
+	c.add("l2_latency", "l2_latency_cycles",
+		slope-1-float64(c.spec.LDGServiceCycles), float64(c.spec.L2LatencyCycles), 0,
+		"L2-hit pointer-chase hop cycles minus dispatch+service")
+	return nil
+}
+
+// probeDRAMLatency chases a ring of l2Ways+1 lines that all map to one
+// L2 set, so LRU evicts every line before its revisit and every hop
+// misses. The per-hop cost is 1 + ldg_service + the miss round trip
+// max(l2_latency, line_transfer + dram_latency - l2_latency).
+func (c *calib) probeDRAMLatency() error {
+	// Each hop count runs on its own cold Sim: carrying L2 state from
+	// one launch into the next would let the second launch's first hop
+	// hit (the previous launch ends on the ring's entry line), skewing
+	// the slope by a non-integer residue.
+	run := func(hops int) (int64, error) {
+		s := c.newSim()
+		buf := writeRing(s, gpu.L2Ways+1, l2Sets(c.spec)*gpu.L2LineBytes)
+		cyc, _, err := c.cycles(s, chaseKernel(hops), 32, []uint32{buf.Addr})
+		return cyc, err
+	}
+	c1, err := run(10)
+	if err != nil {
+		return err
+	}
+	c2, err := run(28)
+	if err != nil {
+		return err
+	}
+	miss := bwLineCycles(c.spec) + int64(c.spec.DRAMLatencyCycles-c.spec.L2LatencyCycles)
+	if l2 := int64(c.spec.L2LatencyCycles); l2 > miss {
+		miss = l2
+	}
+	want := 1 + int64(c.spec.LDGServiceCycles) + miss
+	c.add("dram_latency", "dram_latency_cycles",
+		float64(c2-c1)/18, float64(want), 0,
+		"L2-miss pointer-chase hop cycles (1+svc+max(l2, bw+dram-l2))")
+	return nil
+}
+
+// streamKernel issues body n times after loading the base address, with
+// exitCtrl on the EXIT (a bar-0 wait when the stream must drain first).
+func streamKernel(body string, n int, exitCtrl string) string {
+	var b strings.Builder
+	b.WriteString(".kernel probe\n.params 8\n")
+	b.WriteString("--:-:-:-:1 MOV R4, c[0x0][0x160];\n")
+	for i := 0; i < n; i++ {
+		b.WriteString(body)
+	}
+	fmt.Fprintf(&b, "%s EXIT;\n.endkernel\n", exitCtrl)
+	return b.String()
+}
+
+// probeDRAMBandwidth streams compulsory misses over fresh sequential
+// lines faster than DRAM can move them, so the DRAM channel serializes
+// and the completion time grows by exactly one line-transfer per line.
+func (c *calib) probeDRAMBandwidth() error {
+	body := "--:-:0:-:1 LDG.32 R6, [R4];\n--:-:-:-:1 IADD3 R4, R4, 0x80, RZ;\n"
+	run := func(m int) (int64, error) {
+		s := c.newSim()
+		buf := s.Alloc(m * gpu.L2LineBytes)
+		cyc, _, err := c.cycles(s, streamKernel(body, m, "01:-:-:-:5"), 32, []uint32{buf.Addr})
+		return cyc, err
+	}
+	c1, err := run(24)
+	if err != nil {
+		return err
+	}
+	c2, err := run(72)
+	if err != nil {
+		return err
+	}
+	c.add("dram_bandwidth", "dram_bandwidth_gbs",
+		float64(c2-c1)/48, float64(bwLineCycles(c.spec)), 0,
+		"cycles per fresh 128B line in a saturating miss stream")
+	return nil
+}
+
+// probeLDGService streams same-line stores: the global pipe accepts one
+// access per ldg_service_cycles, so a long stream's completion time
+// grows by exactly that per store (no MSHRs, no DRAM involved).
+func (c *calib) probeLDGService() error {
+	body := "--:-:-:-:1 STG.32 [R4], RZ;\n"
+	run := func(n int) (int64, error) {
+		s := c.newSim()
+		buf := s.Alloc(gpu.L2LineBytes)
+		cyc, _, err := c.cycles(s, streamKernel(body, n, "--:-:-:-:5"), 32, []uint32{buf.Addr})
+		return cyc, err
+	}
+	c1, err := run(64)
+	if err != nil {
+		return err
+	}
+	c2, err := run(128)
+	if err != nil {
+		return err
+	}
+	c.add("ldg_service", "ldg_service_cycles",
+		float64(c2-c1)/64, float64(c.spec.LDGServiceCycles), 0,
+		"steady-state cycles per coalesced global access")
+	return nil
+}
+
+// mioFirstStall replays the MIO queue discipline for a 1-per-cycle
+// store stream with service time svc: it returns the index of the first
+// store whose issue finds the queue full. A kernel of B stores is
+// stall-free iff B < this index.
+func mioFirstStall(depth int, svc int64) int {
+	now, free := int64(0), int64(0)
+	var q []int64
+	for i := 1; i <= 4096; i++ {
+		kept := q[:0]
+		for _, t := range q {
+			if t > now {
+				kept = append(kept, t)
+			}
+		}
+		q = kept
+		if len(q) >= depth {
+			return i
+		}
+		start := now + 1
+		if start < free {
+			start = free
+		}
+		q = append(q, start)
+		free = start + svc
+		now++
+	}
+	return 4097 // svc too small to ever fill the queue
+}
+
+// stsStreamKernel is B broadcast 128-bit smem stores.
+func stsStreamKernel(n int) string {
+	var b strings.Builder
+	b.WriteString(".kernel probe\n.smem 16\n")
+	for i := 0; i < n; i++ {
+		b.WriteString("--:-:-:-:1 STS.128 [RZ], R4;\n")
+	}
+	b.WriteString("--:-:-:-:5 EXIT;\n.endkernel\n")
+	return b.String()
+}
+
+// probeMIODepth finds the longest broadcast-STS burst that never
+// observes a full MIO dispatch queue, searching a window around the
+// boundary the spec predicts.
+func (c *calib) probeMIODepth() error {
+	want := mioFirstStall(c.spec.MIOQueueDepth, int64(stsPhases(c.spec))) - 1
+	lo, hi := want-4, want+4
+	if lo < 1 {
+		lo = 1
+	}
+	measured := lo - 1
+	for b := hi; b >= lo; b-- {
+		s := c.newSim()
+		_, m, err := c.cycles(s, stsStreamKernel(b), 32, nil)
+		if err != nil {
+			return err
+		}
+		if m.MIOStallCycles == 0 {
+			measured = b
+			break
+		}
+	}
+	c.add("mio_depth", "mio_queue_depth",
+		float64(measured), float64(want), 0,
+		"longest STS.128 burst with zero MIO stalls")
+	return nil
+}
+
+// probeMSHRs finds the longest burst of outstanding global loads that
+// never exhausts the miss-handling registers. Fresh lines guarantee the
+// loads stay in flight far longer than the burst takes to issue, so the
+// peak outstanding count equals the burst length.
+func (c *calib) probeMSHRs() error {
+	body := "--:-:-:-:1 LDG.32 R6, [R4];\n--:-:-:-:1 IADD3 R4, R4, 0x80, RZ;\n"
+	lo, hi := c.spec.MSHRs-4, c.spec.MSHRs+4
+	if lo < 1 {
+		lo = 1
+	}
+	measured := lo - 1
+	for b := hi; b >= lo; b-- {
+		s := c.newSim()
+		buf := s.Alloc(b * gpu.L2LineBytes)
+		_, m, err := c.cycles(s, streamKernel(body, b, "--:-:-:-:5"), 32, []uint32{buf.Addr})
+		if err != nil {
+			return err
+		}
+		if m.MSHRStallCycles == 0 {
+			measured = b
+			break
+		}
+	}
+	c.add("mshrs", "mshrs",
+		float64(measured), float64(c.spec.MSHRs), 0,
+		"longest in-flight LDG burst with zero MSHR stalls")
+	return nil
+}
+
+// probeSmemBPC streams broadcast 128-bit smem stores: the pipe moves
+// smem_bytes_per_cycle, so each store costs 512/bpc cycles at steady
+// state.
+func (c *calib) probeSmemBPC() error {
+	run := func(n int) (int64, error) {
+		s := c.newSim()
+		cyc, _, err := c.cycles(s, stsStreamKernel(n), 32, nil)
+		return cyc, err
+	}
+	c1, err := run(32)
+	if err != nil {
+		return err
+	}
+	c2, err := run(64)
+	if err != nil {
+		return err
+	}
+	c.add("smem_bpc", "smem_bytes_per_cycle",
+		float64(c2-c1)/32, float64(stsPhases(c.spec)), 0,
+		"steady-state cycles per broadcast STS.128 (= 512/bpc)")
+	return nil
+}
+
+// ldsStrideConflicts replays the smem bank model for a 32-lane LDS.32
+// where lane l reads word l*stride, returning the conflict cycles.
+func ldsStrideConflicts(d gpu.Device, stride int) int {
+	lanesPerPhase := d.SmemBytesPerCycle / 4
+	if lanesPerPhase < 1 {
+		lanesPerPhase = 1
+	} else if lanesPerPhase > 32 {
+		lanesPerPhase = 32
+	}
+	total := 0
+	for start := 0; start < 32; start += lanesPerPhase {
+		counts := map[int]int{}
+		phase := 1
+		for l := start; l < start+lanesPerPhase; l++ {
+			bank := (l * stride) & (d.SmemBanks - 1)
+			counts[bank]++
+			if counts[bank] > phase {
+				phase = counts[bank]
+			}
+		}
+		total += phase - 1
+	}
+	return total
+}
+
+// probeSmemBanks runs a classic bank-conflict ladder: strided LDS.32
+// at power-of-two strides and compares the total conflict cycles the
+// simulator charges against the bank model the spec implies.
+func (c *calib) probeSmemBanks() error {
+	strides := []int{1, 2, 4, 8, 16, 32}
+	const reps = 16
+	measured, want := int64(0), 0
+	for _, stride := range strides {
+		shift := 2 // *4 bytes
+		for s := stride; s > 1; s >>= 1 {
+			shift++
+		}
+		var b strings.Builder
+		b.WriteString(".kernel probe\n.smem 4096\n")
+		b.WriteString("--:-:0:-:1 S2R R0, SR_LANEID;\n")
+		fmt.Fprintf(&b, "01:-:-:-:2 SHF.L R2, R0, 0x%x;\n", shift)
+		for i := 0; i < reps; i++ {
+			b.WriteString("--:-:-:-:1 LDS.32 R3, [R2];\n")
+		}
+		b.WriteString("--:-:-:-:5 EXIT;\n.endkernel\n")
+		s := c.newSim()
+		_, m, err := c.cycles(s, b.String(), 32, nil)
+		if err != nil {
+			return err
+		}
+		measured += m.SmemConflictCycles
+		want += reps * ldsStrideConflicts(c.spec, stride)
+	}
+	c.add("smem_banks", "smem_banks",
+		float64(measured), float64(want), 0,
+		"total conflict cycles over a stride-2^k LDS ladder")
+	return nil
+}
+
+// lruReplica is an exact standalone copy of the simulator's L2
+// placement: set-associative, LRU, tags only. Probe access sequences
+// are short enough that the simulator's age-stamp renormalization never
+// triggers, so plain LRU matches it cycle-for-cycle.
+type lruReplica struct {
+	sets int
+	tags [][]uint32 // per set, MRU first
+}
+
+func newLRUReplica(sets int) *lruReplica {
+	return &lruReplica{sets: sets, tags: make([][]uint32, sets)}
+}
+
+func (r *lruReplica) access(line uint32) bool {
+	set := int(line) % r.sets
+	ways := r.tags[set]
+	for i, t := range ways {
+		if t == line+1 {
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = line + 1
+			return true
+		}
+	}
+	if len(ways) < gpu.L2Ways {
+		ways = append(ways, 0)
+	}
+	copy(ways[1:], ways)
+	ways[0] = line + 1
+	r.tags[set] = ways
+	return false
+}
+
+// secondPassHits feeds the line sequence twice and counts second-pass
+// hits.
+func secondPassHits(sets int, lines []uint32) int {
+	r := newLRUReplica(sets)
+	for _, ln := range lines {
+		r.access(ln)
+	}
+	hits := 0
+	for _, ln := range lines {
+		if r.access(ln) {
+			hits++
+		}
+	}
+	return hits
+}
+
+// probeL2Rings pins the L2 capacity from the conflict side: a ring of
+// exactly l2Ways lines in one set stays fully resident (every revisit
+// hits), while one more line makes LRU evict each line before its
+// revisit (every access misses). Both expectations come from an
+// standalone LRU replica over the spec geometry.
+func (c *calib) probeL2Rings() error {
+	stride := l2Sets(c.spec) * gpu.L2LineBytes
+	run := func(lines, hops int) (*gpu.Metrics, []uint32, error) {
+		s := c.newSim()
+		buf := writeRing(s, lines, stride)
+		params := []uint32{buf.Addr}
+		if _, err := c.launch(s, chaseKernel(hops), gpu.LaunchOpts{Grid: 1, Block: 32, Params: params}); err != nil {
+			return nil, nil, err
+		}
+		m, err := c.launch(s, chaseKernel(hops), gpu.LaunchOpts{Grid: 1, Block: 32, Params: params})
+		if err != nil {
+			return nil, nil, err
+		}
+		seq := make([]uint32, hops)
+		base := buf.Addr / uint32(gpu.L2LineBytes)
+		for i := range seq {
+			seq[i] = base + uint32((i%lines)*(stride/gpu.L2LineBytes))
+		}
+		return m, seq, nil
+	}
+	m8, seq8, err := run(gpu.L2Ways, 3*gpu.L2Ways)
+	if err != nil {
+		return err
+	}
+	c.add("l2_ring_fit", "l2_size_bytes",
+		float64(m8.L2Hits), float64(secondPassHits(l2Sets(c.spec), seq8)), 0,
+		"revisit hits chasing l2Ways one-set lines")
+	m9, seq9, err := run(gpu.L2Ways+1, 3*(gpu.L2Ways+1))
+	if err != nil {
+		return err
+	}
+	c.add("l2_ring_spill", "l2_size_bytes",
+		float64(m9.L2Hits), float64(secondPassHits(l2Sets(c.spec), seq9)), 0,
+		"revisit hits chasing l2Ways+1 one-set lines")
+	return nil
+}
+
+// probeL2Footprint pins the capacity from the size side: stream a
+// footprint of 3/4 the claimed capacity twice; the second pass hits on
+// every line iff the capacity is at least as large as claimed.
+func (c *calib) probeL2Footprint() error {
+	f := 3 * l2Sets(c.spec) * gpu.L2Ways / 4
+	var b strings.Builder
+	b.WriteString(".kernel probe\n.params 8\n")
+	b.WriteString("--:-:-:-:1 MOV R4, c[0x0][0x160];\n")
+	b.WriteString("--:-:-:-:1 MOV R5, 0x0;\n")
+	b.WriteString("loop:\n")
+	b.WriteString("--:-:-:-:1 LDG.32 R6, [R4];\n")
+	b.WriteString("--:-:-:-:1 IADD3 R4, R4, 0x80, RZ;\n")
+	b.WriteString("--:-:-:-:1 IADD3 R5, R5, 0x1, RZ;\n")
+	fmt.Fprintf(&b, "--:-:-:-:2 ISETP.NE P0, R5, 0x%x;\n", f)
+	b.WriteString("--:-:-:-:2 @P0 BRA loop;\n")
+	b.WriteString("--:-:-:-:5 EXIT;\n.endkernel\n")
+	src := b.String()
+
+	s := c.newSim()
+	buf := s.Alloc(f * gpu.L2LineBytes)
+	params := []uint32{buf.Addr}
+	if _, err := c.launch(s, src, gpu.LaunchOpts{Grid: 1, Block: 32, Params: params}); err != nil {
+		return err
+	}
+	m, err := c.launch(s, src, gpu.LaunchOpts{Grid: 1, Block: 32, Params: params})
+	if err != nil {
+		return err
+	}
+	seq := make([]uint32, f)
+	base := buf.Addr / uint32(gpu.L2LineBytes)
+	for i := range seq {
+		seq[i] = base + uint32(i)
+	}
+	c.add("l2_footprint", "l2_size_bytes",
+		float64(m.L2Hits), float64(secondPassHits(l2Sets(c.spec), seq)), 0,
+		"second-pass hits streaming 3/4 of the claimed capacity")
+	return nil
+}

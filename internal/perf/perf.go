@@ -32,6 +32,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/gpu"
 	"repro/internal/kernels"
+	"repro/internal/microbench"
 	"repro/internal/tensor"
 	"repro/internal/tune"
 	"repro/internal/turingas"
@@ -69,15 +70,33 @@ func Benchmarks() []Benchmark {
 		{"kernels/source", benchKernelSource},
 		{"winograd/conv2d", benchWinogradConv2D},
 		{"tune/staticprune", benchTuneStaticPrune},
+		{"microbench/calibrate", benchMicrobenchCalibrate},
+	}
+}
+
+// benchMicrobenchCalibrate measures the full device-calibration probe
+// suite on the default device — the fixed per-device cost the calibrate
+// CLI and the CI calibration job pay. The suite launches dozens of tiny
+// kernels, so this target also tracks the simulator's launch and
+// assembly-cache overheads that the main-loop targets amortize away.
+func benchMicrobenchCalibrate(b *testing.B) {
+	dev := gpu.RTX2070()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := microbench.Calibrate(dev, microbench.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !microbench.Pass(res) {
+			b.Fatal("calibration failed")
+		}
 	}
 }
 
 // benchTuneStaticPrune measures the autotuner's static planning path —
 // knob-space enumeration plus roofline ranking — which every tune run
-// pays per layer before any simulation. Deliberately absent from the
-// committed BENCH_sim.json until the next baseline refresh: it is the
-// live demonstration that -perfdiff reports new targets as unbaselined
-// warnings instead of chicken-and-egg failures.
+// pays per layer before any simulation.
 func benchTuneStaticPrune(b *testing.B) {
 	dev := gpu.RTX2070()
 	space := tune.DefaultSpace()
