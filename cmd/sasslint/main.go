@@ -2,32 +2,43 @@
 // contract the paper's generator encodes: control-code ranges, stall
 // and dependency-barrier hazard coverage, register bank conflicts and
 // reuse-flag validity, shared-memory bank conflicts, and resource
-// ceilings (internal/sasscheck). It runs between the assembler and the
-// simulator: anything it reports, the simulator's dynamic hazard
-// checker could observe on some schedule.
+// ceilings (internal/sasscheck). On top of the per-instruction rules it
+// runs the whole-block verifier: an abstract interpretation of the
+// kernel proving shared-memory race freedom, bounds safety, and barrier
+// convergence on every path. It runs between the assembler and the
+// simulator: anything it reports, the simulator's dynamic checkers
+// (HazardCheck, SmemOracle) could observe on some schedule.
 //
 // Usage:
 //
 //	sasslint file.sass ...               lint assembled source files
 //	sasslint -gen [-bk 64] [-yield 0] [-ldg 8] [-sts 6] [-mainloop]
 //	         [-odd] [-ftf] [-gemm]      lint generated kernel configs
-//	sasslint -rules                      list the rule catalogue
+//	sasslint -rules id,id,...            restrict reporting to the named rules
+//	sasslint -block N                    block size assumed for file-mode verification
+//	sasslint -list                       list the rule catalogue
 //
 // With -gen and no -ftf/-gemm, the main convolution kernel for the
 // given scheduling knobs is generated, linted, and its shared-memory
-// access patterns verified against the 32-bank model. Exit status: 0
-// clean, 1 diagnostics reported, 2 usage or assembly failure.
+// access patterns verified against the 32-bank model. -rules takes a
+// comma-separated list of rule IDs from -list; unknown IDs are
+// rejected. Exit status: 0 clean, 1 diagnostics reported, 2 usage or
+// assembly failure.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/kernels"
 	"repro/internal/sasscheck"
 	"repro/internal/turingas"
 )
+
+// enabled restricts which rules report; nil means every rule.
+var enabled map[string]bool
 
 func main() {
 	gen := flag.Bool("gen", false, "lint generated kernels instead of source files")
@@ -40,14 +51,20 @@ func main() {
 	odd := flag.Bool("odd", false, "odd-H/W problem exercising the edge-guard stores (with -gen)")
 	ftf := flag.Bool("ftf", false, "lint the filter-transform kernel (with -gen)")
 	gemm := flag.Bool("gemm", false, "lint the batched GEMM kernel (with -gen)")
-	rules := flag.Bool("rules", false, "list the rule catalogue and exit")
+	rules := flag.String("rules", "", "comma-separated rule IDs to report (default: all; see -list)")
+	block := flag.Int("block", 256, "block size assumed when verifying source files")
+	list := flag.Bool("list", false, "list the rule catalogue and exit")
 	flag.Parse()
 
-	if *rules {
+	if *list {
 		for _, r := range sasscheck.Rules() {
 			fmt.Printf("%-18s %s (%s)\n", r.ID, r.Summary, r.Paper)
 		}
 		return
+	}
+	if err := parseRules(*rules); err != nil {
+		fmt.Fprintln(os.Stderr, "sasslint:", err)
+		os.Exit(2)
 	}
 
 	total := 0
@@ -56,10 +73,10 @@ func main() {
 		total += lintGenerated(cfg, *mainloop, *odd, *ftf, *gemm)
 	}
 	for _, path := range flag.Args() {
-		total += lintFile(path)
+		total += lintFile(path, *block)
 	}
 	if !*gen && flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: sasslint [-rules] [-gen [options]] [file.sass ...]")
+		fmt.Fprintln(os.Stderr, "usage: sasslint [-list] [-rules id,...] [-gen [options]] [-block N] [file.sass ...]")
 		os.Exit(2)
 	}
 	if total > 0 {
@@ -68,21 +85,56 @@ func main() {
 	}
 }
 
+// parseRules validates and installs the -rules filter. A typo must be
+// an error, not a filter that silently matches nothing.
+func parseRules(spec string) error {
+	if spec == "" {
+		return nil
+	}
+	valid := map[string]bool{}
+	ids := make([]string, 0, len(sasscheck.Rules()))
+	for _, r := range sasscheck.Rules() {
+		valid[r.ID] = true
+		ids = append(ids, r.ID)
+	}
+	enabled = map[string]bool{}
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if !valid[id] {
+			return fmt.Errorf("unknown rule %q; valid rules: %s", id, strings.Join(ids, ", "))
+		}
+		enabled[id] = true
+	}
+	if len(enabled) == 0 {
+		enabled = nil
+	}
+	return nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sasslint:", err)
 	os.Exit(2)
 }
 
 func report(name string, ds []sasscheck.Diag) int {
+	n := 0
 	for _, d := range ds {
+		if enabled != nil && !enabled[d.Rule] {
+			continue
+		}
 		fmt.Printf("%s: %s\n", name, d)
+		n++
 	}
-	return len(ds)
+	return n
 }
 
 // lintFile assembles one .sass source file and checks every kernel in
-// the resulting module.
-func lintFile(path string) int {
+// the resulting module: the per-instruction rules plus the whole-block
+// verifier at the given block size.
+func lintFile(path string, block int) int {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -98,14 +150,18 @@ func lintFile(path string) int {
 		if err != nil {
 			fatal(err)
 		}
-		n += report(fmt.Sprintf("%s:%s", path, k.Name), ds)
+		vds, err := sasscheck.VerifyKernel(k, sasscheck.VerifyOpts{Threads: block})
+		if err != nil {
+			fatal(err)
+		}
+		n += report(fmt.Sprintf("%s:%s", path, k.Name), append(ds, vds...))
 	}
 	return n
 }
 
-// lintGenerated generates the requested kernels and checks both the
-// instruction stream and (for the main kernel) the shared-memory access
-// patterns.
+// lintGenerated generates the requested kernels and checks the
+// instruction stream, the whole-block verifier, and (for the main
+// kernel) the hand-enumerated shared-memory access patterns.
 func lintGenerated(cfg kernels.Config, mainloop, odd, ftf, gemm bool) int {
 	n := 0
 	if ftf {
@@ -118,7 +174,11 @@ func lintGenerated(cfg kernels.Config, mainloop, odd, ftf, gemm bool) int {
 			if err != nil {
 				fatal(err)
 			}
-			n += report(fmt.Sprintf("ftf(k=%d)", k), ds)
+			vds, err := sasscheck.VerifyKernel(kern, sasscheck.VerifyOpts{Threads: kernels.FTFBlock(k)})
+			if err != nil {
+				fatal(err)
+			}
+			n += report(fmt.Sprintf("ftf(k=%d)", k), append(ds, vds...))
 		}
 	}
 	if gemm {
@@ -130,7 +190,11 @@ func lintGenerated(cfg kernels.Config, mainloop, odd, ftf, gemm bool) int {
 		if err != nil {
 			fatal(err)
 		}
-		n += report("gemm", ds)
+		vds, err := sasscheck.VerifyKernel(k, sasscheck.VerifyOpts{Threads: 256})
+		if err != nil {
+			fatal(err)
+		}
+		n += report("gemm", append(ds, vds...))
 	}
 	if ftf || gemm {
 		return n
@@ -150,7 +214,11 @@ func lintGenerated(cfg kernels.Config, mainloop, odd, ftf, gemm bool) int {
 	if err != nil {
 		fatal(err)
 	}
-	n += report(name, ds)
+	vds, err := sasscheck.VerifyKernel(k, sasscheck.VerifyOpts{Threads: 256})
+	if err != nil {
+		fatal(err)
+	}
+	n += report(name, append(ds, vds...))
 
 	accs := []sasscheck.SmemAccess{}
 	for _, sp := range kernels.SmemPatterns(cfg) {

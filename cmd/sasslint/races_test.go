@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/sasscheck"
+	"repro/internal/turingas"
+)
+
+// TestRacesGolden pins the verifier's diagnostics for the executable
+// broken corpus exactly as the CLI reports them (lintFile formatting:
+// per-instruction rules followed by the whole-block verifier at the
+// default 256-thread block... here 64, the size the differential test
+// launches with).
+func TestRacesGolden(t *testing.T) {
+	src, err := os.ReadFile("testdata/races.sass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := turingas.Assemble(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for i := range mod.Kernels {
+		k := &mod.Kernels[i]
+		ds, err := sasscheck.CheckKernel(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vds, err := sasscheck.VerifyKernel(k, sasscheck.VerifyOpts{Threads: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range append(ds, vds...) {
+			fmt.Fprintf(&b, "%s: %s\n", k.Name, d)
+		}
+	}
+	got := b.String()
+	if *update {
+		if err := os.WriteFile("testdata/races.golden", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile("testdata/races.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics changed (run with -update to accept):\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	// The corpus must keep covering each whole-block rule class.
+	for _, c := range []struct{ kernel, rule string }{
+		{"ww", "smem-race"},
+		{"rw", "smem-race"},
+		{"oob", "smem-bounds"},
+		{"divbar", "bar-divergent"},
+	} {
+		if !strings.Contains(got, c.kernel+": ") || !strings.Contains(got, " "+c.rule+": ") {
+			t.Errorf("races.sass kernel %s no longer trips %s", c.kernel, c.rule)
+		}
+	}
+}
+
+// TestDifferentialOracle asserts the soundness direction of the
+// verifier on the executable corpus: every finding the dynamic oracle
+// observes on a concrete launch must be covered by a static report —
+// same rule, at the finding's pc or (for races, whose static diagnostic
+// is placed at the later instruction of the pair) its other pc.
+func TestDifferentialOracle(t *testing.T) {
+	src, err := os.ReadFile("testdata/races.sass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := turingas.Assemble(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mod.Kernels {
+		k := &mod.Kernels[i]
+		t.Run(k.Name, func(t *testing.T) {
+			sim := gpu.NewSim(gpu.RTX2070())
+			sim.Oracle = &gpu.SmemOracle{}
+			// The oob kernel's launch fails on the rejected access; the
+			// oracle still logs the finding, which is what we check.
+			_, launchErr := sim.Launch(k, gpu.LaunchOpts{Grid: 1, Block: 64})
+			fs := sim.Oracle.Findings()
+			if len(fs) == 0 {
+				if launchErr != nil {
+					t.Fatalf("launch failed without oracle findings: %v", launchErr)
+				}
+				t.Fatal("corpus kernel tripped no dynamic findings; it no longer tests anything")
+			}
+			ds, err := sasscheck.VerifyKernel(k, sasscheck.VerifyOpts{Threads: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			staticAt := map[string]map[int]bool{}
+			for _, d := range ds {
+				if staticAt[d.Rule] == nil {
+					staticAt[d.Rule] = map[int]bool{}
+				}
+				staticAt[d.Rule][d.PC] = true
+			}
+			for _, f := range fs {
+				if staticAt[f.Kind][f.PC] || (f.OtherPC >= 0 && staticAt[f.Kind][f.OtherPC]) {
+					continue
+				}
+				t.Errorf("dynamic finding with no static report: %s\nstatic: %v", f, ds)
+			}
+		})
+	}
+}

@@ -24,6 +24,12 @@ type warp struct {
 	done    bool
 	started bool
 
+	// smemPhase counts the barriers this warp has passed in its current
+	// block: the oracle (oracle.go) stamps shared-memory accesses with
+	// it to delimit barrier intervals. Maintained only while an oracle
+	// is attached; reset with the rest of the warp by getWarp.
+	smemPhase int
+
 	// Scheduling state.
 	nextIssue  int64
 	atBar      bool

@@ -42,6 +42,12 @@ type Sim struct {
 	// every hook reduces to one pointer compare, preserving the
 	// zero-alloc issue path.
 	Prof *Profiler
+	// Oracle, when non-nil, logs every shared-memory access of a launch
+	// and flags concrete races, out-of-bounds accesses, and divergent
+	// barriers (see oracle.go) — the dynamic complement of the static
+	// verifier in internal/sasscheck. Same discipline as Prof: read-only
+	// and one pointer compare per hook when off.
+	Oracle *SmemOracle
 	// Backend selects the per-instruction execution engine (see
 	// backend.go). The zero value is the threaded-code backend;
 	// BackendSwitch keeps the original decode-dispatch interpreter as the
@@ -412,6 +418,7 @@ func (s *Sim) LaunchM(k *cubin.Kernel, opts LaunchOpts, total *Metrics) error {
 		gridX:  opts.Grid,
 		gridY:  opts.GridY,
 		hazard: s.HazardCheck,
+		oracle: s.Oracle,
 	}
 	if opts.Sharded {
 		lc.memLimit = len(s.mem.data)
@@ -480,6 +487,9 @@ type launchCtx struct {
 	gridX  int
 	gridY  int
 	hazard bool
+	// oracle is the launch's shared-memory access logger, nil when off;
+	// shared by Sharded workers (its record methods lock).
+	oracle *SmemOracle
 	// memLimit, when positive, bounds global stores (in words): Sharded
 	// instances must not grow the shared memory image, so a store beyond
 	// the allocation watermark is an error instead of a data race.
@@ -499,6 +509,7 @@ type smSim struct {
 
 	hazard   bool
 	memLimit int
+	oracle   *SmemOracle
 
 	occ          Occupancy
 	gridX, gridY int
@@ -572,6 +583,7 @@ func (lc *launchCtx) newInstance(pools *simPools, blocks []int, l2 *l2cache, col
 		pools:       pools,
 		hazard:      lc.hazard,
 		memLimit:    lc.memLimit,
+		oracle:      lc.oracle,
 		occ:         lc.occ,
 		gridX:       lc.gridX,
 		gridY:       lc.gridY,
@@ -1072,7 +1084,7 @@ func (sm *smSim) issue(sc *scheduler, w *warp) error {
 	default:
 		switch {
 		case res.barrier:
-			sm.warpBarrier(w)
+			sm.warpBarrier(w, in)
 		case res.exited:
 			sm.warpExit(w)
 		}
@@ -1101,7 +1113,10 @@ func (sm *smSim) issue(sc *scheduler, w *warp) error {
 
 // warpBarrier parks a warp at BAR.SYNC, releasing the whole block when it
 // is the last arrival. Shared by both execution backends.
-func (sm *smSim) warpBarrier(w *warp) {
+func (sm *smSim) warpBarrier(w *warp, in *sass.Inst) {
+	if sm.oracle != nil {
+		sm.oracle.noteBarrier(w, in)
+	}
 	blk := w.block
 	w.atBar = true
 	// Parked warps carry an infinite nextIssue so the issue scan rejects
@@ -1192,6 +1207,9 @@ func (sm *smSim) issueMem(w *warp, in *sass.Inst, mi *instMeta, req *memRequest,
 			sm.m.LDSCount++
 		} else {
 			sm.m.STSCount++
+		}
+		if sm.oracle != nil {
+			sm.oracle.recordAccess(w, in, req)
 		}
 		if start < sm.smemFree {
 			start = sm.smemFree
@@ -1333,9 +1351,16 @@ func (sm *smSim) moveShared(w *warp, in *sass.Inst, req *memRequest) error {
 		addr := req.addrs[l]
 		if addr&widthMask != 0 {
 			err := checkAligned(addr, int(in.Width))
+			if sm.oracle != nil {
+				sm.oracle.noteBounds(w, w.pc-1, fmt.Sprintf("%v (lane %d)", err, l))
+			}
 			return fmt.Errorf("%w (pc %d, lane %d)", err, w.pc-1, l)
 		}
 		if int(addr/4)+words > smemWords {
+			if sm.oracle != nil {
+				sm.oracle.noteBounds(w, w.pc-1, fmt.Sprintf("access at 0x%x+%dB out of the %d B of shared memory (lane %d)",
+					addr, words*4, sm.kern.SmemBytes, l))
+			}
 			return fmt.Errorf("shared-memory access at 0x%x+%dB out of bounds (%d B allocated, pc %d)",
 				addr, words*4, sm.kern.SmemBytes, w.pc-1)
 		}

@@ -542,7 +542,7 @@ func (sm *smSim) issueThreaded(sc *scheduler, w *warp) error {
 	default:
 		switch {
 		case res.barrier:
-			sm.warpBarrier(w)
+			sm.warpBarrier(w, nd.in)
 		case res.exited:
 			sm.warpExit(w)
 		}

@@ -46,6 +46,9 @@ type ConvOpts struct {
 	Hot bool
 	// Prof, when non-nil, collects one LaunchProfile per kernel launch.
 	Prof *gpu.Profiler
+	// Oracle, when non-nil, logs every shared-memory access of both
+	// launches for race/bounds checking (see gpu.SmemOracle).
+	Oracle *gpu.SmemOracle
 	// Sim selects the execution engine.
 	Sim SimOpts
 }
@@ -124,6 +127,7 @@ func RunConvWith(dev gpu.Device, cfg Config, p Problem, o ConvOpts) (*ConvResult
 	sim := gpu.NewSim(dev)
 	sim.HazardCheck = hazardCheck
 	sim.Prof = prof
+	sim.Oracle = o.Oracle
 	sim.Backend = o.Sim.Backend
 	sim.Workers = o.Sim.Workers
 	// Only full functional runs shard: sampled launches keep the

@@ -1,0 +1,216 @@
+package kernels_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/sasscheck"
+)
+
+// TestGeneratedKernelsVerifyClean is the verify-clean lattice: every
+// experiment variant, both full and main-loop-only, on even and odd
+// problems, plus the FTF kernels and the batched GEMM, must prove free
+// of shared-memory races, out-of-bounds accesses, and divergent
+// barriers — with zero absint-limit escapes, i.e. the verifier resolves
+// every address and branch the generator emits. In -short mode only the
+// two flagship blockings run.
+func TestGeneratedKernelsVerifyClean(t *testing.T) {
+	even := kernels.Problem{C: 16, K: 64, N: 32, H: 4, W: 4}
+	odd := kernels.Problem{C: 16, K: 64, N: 32, H: 7, W: 7}
+	variants := lintVariants()
+	if testing.Short() {
+		variants = variants[:2] // ours, cudnn-like
+	}
+	for _, v := range variants {
+		for _, mlo := range []bool{false, true} {
+			for _, p := range []kernels.Problem{even, odd} {
+				name := fmt.Sprintf("%s/mlo=%v/H%d", v.name, mlo, p.H)
+				t.Run(name, func(t *testing.T) {
+					k, err := kernels.Generate(v.cfg, p, mlo)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ds, err := sasscheck.VerifyKernel(k, sasscheck.VerifyOpts{Threads: 256})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, d := range ds {
+						t.Errorf("%s", d)
+					}
+				})
+			}
+		}
+	}
+	for _, kk := range []int{32, 64, 256} {
+		t.Run(fmt.Sprintf("ftf%d", kk), func(t *testing.T) {
+			k, err := kernels.GenerateFTF(kk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := sasscheck.VerifyKernel(k, sasscheck.VerifyOpts{Threads: kernels.FTFBlock(kk)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range ds {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+	t.Run("gemm", func(t *testing.T) {
+		k, err := kernels.GenerateBatchedGEMM(kernels.Ours(), kernels.GemmProblem{M: 128, N: 128, K: 64, Batch: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := sasscheck.VerifyKernel(k, sasscheck.VerifyOpts{Threads: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range ds {
+			t.Errorf("%s", d)
+		}
+	})
+}
+
+// normShape reduces an access pattern to its base-relative lane shape:
+// active lanes as offsets from the smallest active address, inactive
+// lanes as "x". Two accesses with the same shape hit the same banks.
+func normShape(addrs [32]uint32, active [32]bool) string {
+	min := ^uint32(0)
+	for l := 0; l < 32; l++ {
+		if active[l] && addrs[l] < min {
+			min = addrs[l]
+		}
+	}
+	s := ""
+	for l := 0; l < 32; l++ {
+		if active[l] {
+			s += fmt.Sprintf("%d,", addrs[l]-min)
+		} else {
+			s += "x,"
+		}
+	}
+	return s
+}
+
+// TestVerifyPatternsCoverSmemPatterns cross-checks the two independent
+// enumerations of the kernels' shared-memory behavior: the shapes
+// SmemPatterns derives from the layout equations (what the generator
+// intends) must all appear among the per-warp access patterns the
+// abstract interpreter extracts from the instruction stream (what the
+// kernel actually does), modulo the per-warp/per-round base offset.
+func TestVerifyPatternsCoverSmemPatterns(t *testing.T) {
+	p := kernels.Problem{C: 16, K: 64, N: 32, H: 4, W: 4}
+	for _, cfg := range []kernels.Config{kernels.Ours(), kernels.CuDNNLike()} {
+		k, err := kernels.Generate(cfg, p, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts, err := k.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sasscheck.VerifyFull(insts, sasscheck.VerifyOpts{Threads: 256, SmemBytes: k.SmemBytes})
+		if len(res.Patterns) == 0 {
+			t.Fatalf("bk%d: verifier derived no access patterns", cfg.BK)
+		}
+		derived := map[string]bool{}
+		for _, ap := range res.Patterns {
+			derived[fmt.Sprintf("%d|%s", ap.Width, normShape(ap.Addrs, ap.Active))] = true
+		}
+		miss := 0
+		for _, sp := range kernels.SmemPatterns(cfg) {
+			key := fmt.Sprintf("%d|%s", sp.Width, normShape(sp.Addrs, sp.Active))
+			if !derived[key] {
+				miss++
+				if miss <= 5 {
+					t.Errorf("bk%d: hand-enumerated pattern not derived from the instruction stream: %s", cfg.BK, sp.Desc)
+				}
+			}
+		}
+		if miss > 5 {
+			t.Errorf("bk%d: ... and %d more unmatched patterns", cfg.BK, miss-5)
+		}
+	}
+}
+
+// TestScatterExemptionStillNeeded proves the verifier's single
+// exemption is load-bearing and precisely scoped, mirroring the
+// AllowConflicts discipline of TestSmemLayoutsConflictFree: with
+// exemptions stripped, the epilogue scatter's derived bank conflicts
+// must resurface — and only on instructions the exemption's matcher
+// covers. If this test fails with zero diagnostics, the scatter became
+// conflict-free: delete the exemption and the DESIGN.md deviation note.
+func TestScatterExemptionStillNeeded(t *testing.T) {
+	exs := sasscheck.Exemptions()
+	if len(exs) != 1 || exs[0].ID != "epilogue-scatter-conflicts" {
+		t.Fatalf("exemption surface changed (%d entries); update this test deliberately", len(exs))
+	}
+	p := kernels.Problem{C: 16, K: 64, N: 32, H: 4, W: 4}
+	for _, cfg := range []kernels.Config{kernels.Ours(), kernels.CuDNNLike()} {
+		k, err := kernels.Generate(cfg, p, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts, err := k.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := sasscheck.VerifyOpts{Threads: 256, SmemBytes: k.SmemBytes}
+
+		// With the exemption active: completely clean.
+		for _, d := range sasscheck.Verify(insts, opts) {
+			t.Errorf("bk%d with exemptions: %s", cfg.BK, d)
+		}
+
+		// Stripped: the scatter conflicts must appear, all of them on
+		// instructions the exemption's matcher covers.
+		opts.NoExemptions = true
+		stripped := sasscheck.Verify(insts, opts)
+		n := 0
+		for _, d := range stripped {
+			if d.Rule != "smem-conflict" {
+				t.Errorf("bk%d stripped: unexpected %s", cfg.BK, d)
+				continue
+			}
+			n++
+			if d.PC < 0 || d.PC >= len(insts) || !exs[0].Match(&insts[d.PC]) {
+				t.Errorf("bk%d: conflict at pc %d is outside the exemption's matcher: %s", cfg.BK, d.PC, d)
+			}
+		}
+		if n == 0 {
+			t.Errorf("bk%d: scatter verifies conflict-free; drop the exemption and the DESIGN.md deviation", cfg.BK)
+		}
+	}
+}
+
+// TestGeneratedKernelsOracleClean runs the flagship kernels end to end
+// with the dynamic shared-memory oracle attached: the concrete launches
+// (FTF + main kernel, full grid) must produce zero race, bounds, or
+// divergence findings — the dynamic half of the differential argument
+// whose static half is TestGeneratedKernelsVerifyClean.
+func TestGeneratedKernelsOracleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates full kernels")
+	}
+	p := kernels.Problem{C: 16, K: 64, N: 32, H: 4, W: 4}
+	for _, cfg := range []kernels.Config{kernels.Ours(), kernels.CuDNNLike()} {
+		oracle := &gpu.SmemOracle{}
+		if _, err := kernels.RunConvWith(gpu.RTX2070(), cfg, p, kernels.ConvOpts{Oracle: oracle}); err != nil {
+			t.Fatalf("bk%d: %v", cfg.BK, err)
+		}
+		if fs := oracle.Findings(); len(fs) != 0 {
+			for i, f := range fs {
+				if i >= 5 {
+					t.Errorf("bk%d: ... and %d more findings", cfg.BK, len(fs)-5)
+					break
+				}
+				t.Errorf("bk%d: %s", cfg.BK, f)
+			}
+		}
+		if len(oracle.Records()) == 0 {
+			t.Fatalf("bk%d: oracle logged nothing; the hooks are dead", cfg.BK)
+		}
+	}
+}

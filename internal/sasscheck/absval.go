@@ -1,0 +1,276 @@
+package sasscheck
+
+// The value and predicate domains of the abstract interpreter (see
+// absint.go). A value is tracked per thread of the block, exploiting the
+// fact that the generated kernels' address arithmetic is a function of
+// tid/laneid bit manipulation and compile-time constants: where a purely
+// affine domain would lose LOP3/SHF lane swizzles, per-thread concrete
+// evaluation stays exact. Values that depend on launch parameters
+// (ctaid, constant-bank reads) are not concrete but are uniform across
+// the block, which is all the barrier-divergence and race rules need;
+// they get their own lattice point between "exact" and "unknown" so an
+// edge-guard predicate does not collapse everything above it to Top.
+//
+// Lattice (least to greatest):
+//
+//	vConst (one known word, uniform)
+//	vVec   (known per thread, divergent)   vUnk (unknown but uniform)
+//	vStride (known per-thread base + unknown multiple of a stride)
+//	vTop   (unknown, possibly divergent)
+//
+// vStride is the widening point for loop-carried induction values:
+// {base[t] + k*stride (mod 2^32) : k >= 0}. It keeps stride-swept
+// addresses analyzable (congruence-based disjointness, see race.go)
+// after a loop refuses to terminate concretely.
+type valKind uint8
+
+const (
+	vTop    valKind = iota
+	vUnk            // unknown but uniform across the block
+	vConst          // known, uniform: c
+	vVec            // known per thread: vec[t]
+	vStride         // {base + k*stride}; base per thread in vec, or uniform in c
+)
+
+// absVal is one abstract register value. The vec slice is shared between
+// states and never mutated in place: every write allocates.
+type absVal struct {
+	kind   valKind
+	c      uint32   // vConst value; vStride uniform base when vec is nil
+	stride uint32   // vStride step, nonzero
+	vec    []uint32 // vVec values / vStride per-thread bases
+}
+
+func topVal() absVal           { return absVal{kind: vTop} }
+func unkVal() absVal           { return absVal{kind: vUnk} }
+func constVal(c uint32) absVal { return absVal{kind: vConst, c: c} }
+
+// vecVal normalizes an all-equal vector to vConst so that vVec always
+// means "genuinely divergent" (several rules rely on that).
+func vecVal(vec []uint32) absVal {
+	uniform := true
+	for _, v := range vec[1:] {
+		if v != vec[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return constVal(vec[0])
+	}
+	return absVal{kind: vVec, vec: vec}
+}
+
+// uniform reports whether the value is the same in every thread
+// (exactly, or unknown-but-uniform).
+func (v absVal) uniform() bool { return v.kind == vUnk || v.kind == vConst }
+
+// exact reports whether every thread's value is known.
+func (v absVal) exact() bool { return v.kind == vConst || v.kind == vVec }
+
+// at returns thread t's value; only valid for exact values and for the
+// base of a vStride.
+func (v absVal) at(t int) uint32 {
+	if v.vec == nil {
+		return v.c
+	}
+	return v.vec[t]
+}
+
+func eqU32Slice(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func eqVal(a, b absVal) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case vTop, vUnk:
+		return true
+	case vConst:
+		return a.c == b.c
+	case vVec:
+		return eqU32Slice(a.vec, b.vec)
+	default: // vStride
+		if a.stride != b.stride {
+			return false
+		}
+		if (a.vec == nil) != (b.vec == nil) {
+			return false
+		}
+		if a.vec == nil {
+			return a.c == b.c
+		}
+		return eqU32Slice(a.vec, b.vec)
+	}
+}
+
+// strideContains reports whether exact value b lies in the stride set a
+// in every thread (membership is modular: k is unconstrained, a sound
+// superset of the k >= 0 ray the widening observed).
+func strideContains(a absVal, b absVal, threads int) bool {
+	for t := 0; t < threads; t++ {
+		if (b.at(t)-a.at(t))%a.stride != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// joinPossibility joins two values one of which the program will take
+// (an unknown-but-uniform choice, e.g. a predicated write under a
+// uniform-unknown guard). Both outcomes uniform means the result is
+// still uniform; a divergent outcome makes the choice unrepresentable.
+func joinPossibility(a, b absVal, threads int) absVal {
+	if eqVal(a, b) {
+		return a
+	}
+	if a.uniform() && b.uniform() {
+		return unkVal()
+	}
+	if a.kind == vStride && b.exact() && strideContains(a, b, threads) {
+		return a
+	}
+	if b.kind == vStride && a.exact() && strideContains(b, a, threads) {
+		return b
+	}
+	return topVal()
+}
+
+// joinWiden joins an established state value with a newly arriving one
+// at a widening point. Exact values drifting by a thread-invariant delta
+// widen to a stride set so counted loops converge; anything else that
+// stays uniform widens to vUnk, and the rest to Top.
+func joinWiden(a, b absVal, threads int) absVal {
+	if eqVal(a, b) {
+		return a
+	}
+	if a.exact() && b.exact() {
+		d := b.at(0) - a.at(0)
+		same := d != 0
+		for t := 1; t < threads && same; t++ {
+			if b.at(t)-a.at(t) != d {
+				same = false
+			}
+		}
+		if same {
+			s := absVal{kind: vStride, stride: d}
+			if a.kind == vConst {
+				s.c = a.c
+			} else {
+				s.vec = a.vec
+			}
+			return s
+		}
+	}
+	if a.kind == vStride && b.exact() && strideContains(a, b, threads) {
+		return a
+	}
+	if a.kind == vStride && b.kind == vStride && a.stride == b.stride &&
+		a.vec == nil == (b.vec == nil) {
+		base := b
+		base.stride = 0
+		base.kind = vConst
+		if b.vec != nil {
+			base.kind = vVec
+		}
+		if strideContains(a, base, threads) {
+			return a
+		}
+	}
+	if a.uniform() && b.uniform() {
+		return unkVal()
+	}
+	return topVal()
+}
+
+// Predicate domain: the same shape over booleans, without a stride
+// point (predicates do not sweep).
+type predKind uint8
+
+const (
+	pTop   predKind = iota
+	pUnk            // unknown but uniform across the block
+	pConst          // known uniform bool
+	pVec            // known per thread
+)
+
+type absPred struct {
+	kind predKind
+	b    bool
+	vec  []bool
+}
+
+func topPred() absPred         { return absPred{kind: pTop} }
+func unkPred() absPred         { return absPred{kind: pUnk} }
+func constPred(b bool) absPred { return absPred{kind: pConst, b: b} }
+
+// vecPred normalizes an all-equal vector to pConst, so pVec always
+// means "divergent somewhere in the block".
+func vecPred(vec []bool) absPred {
+	uniform := true
+	for _, v := range vec[1:] {
+		if v != vec[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return constPred(vec[0])
+	}
+	return absPred{kind: pVec, vec: vec}
+}
+
+func (p absPred) uniform() bool { return p.kind == pUnk || p.kind == pConst }
+func (p absPred) exact() bool   { return p.kind == pConst || p.kind == pVec }
+
+// at returns thread t's predicate; only valid for exact predicates.
+func (p absPred) at(t int) bool {
+	if p.vec == nil {
+		return p.b
+	}
+	return p.vec[t]
+}
+
+func eqPred(a, b absPred) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case pTop, pUnk:
+		return true
+	case pConst:
+		return a.b == b.b
+	default:
+		if len(a.vec) != len(b.vec) {
+			return false
+		}
+		for i := range a.vec {
+			if a.vec[i] != b.vec[i] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func joinPredPossibility(a, b absPred) absPred {
+	if eqPred(a, b) {
+		return a
+	}
+	if a.uniform() && b.uniform() {
+		return unkPred()
+	}
+	return topPred()
+}
+
+func joinPredWiden(a, b absPred) absPred { return joinPredPossibility(a, b) }

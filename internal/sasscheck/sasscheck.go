@@ -96,6 +96,11 @@ func Rules() []Rule {
 		{"reuse-stale", "a latched reuse operand must not be overwritten by its own instruction", "Section 6.1"},
 		{"ffma-bank", "FP operand triples must not all read one 64-bit register bank", "Section 6.1, Figure 4"},
 		{"smem-bank", "shared-memory access patterns free of bank conflicts", "Section 4.3, Figures 3 and 5"},
+		{"smem-race", "no write-write or read-write shared-memory overlap between warps within one barrier interval", "Section 4.3, Figure 3 (verifier)"},
+		{"smem-bounds", "every STS/LDS stays inside the declared shared memory, aligned to its width", "Section 4.2 (verifier)"},
+		{"bar-divergent", "no BAR.SYNC reachable under divergent predication", "Section 5.2.1 (verifier)"},
+		{"smem-conflict", "derived shared-memory access patterns free of unexempted bank conflicts", "Section 4.3, Figures 3 and 5 (verifier)"},
+		{"absint-limit", "the verifier resolved every address and branch it needed to prove the above", "Section 4 (verifier)"},
 	}
 }
 
