@@ -3,8 +3,11 @@
 // Usage:
 //
 //	winograd-bench [-waves N] [-quick] [-markdown] [-jobs N] [-timings] [-prof] [experiment ...]
-//	winograd-bench [-waves N] [-quick] [-jobs N] [-budget N] [-tunecache PATH] [-device D] tune
+//	winograd-bench [-waves N] [-quick] [-jobs N] [-budget N] [-store PATH] [-shard i/N] [-storeverify] [-tunecache PATH] [-device D] tune
 //	winograd-bench [-jobs N] [-markdown] [-backend B] [-device D] calibrate
+//	winograd-bench store merge -o OUT IN...
+//	winograd-bench store ls PATH...
+//	winograd-bench store verify PATH...
 //
 // With no arguments it lists the available experiments; "all" runs the
 // whole evaluation in paper order. Experiment ids may be repeated and
@@ -15,8 +18,17 @@
 //
 // The `tune` subcommand searches the kernels.Config knob space per
 // ResNet layer on the simulator (statically pruned, budgeted by
-// -budget), persists measurements to the -tunecache JSON file, and
+// -budget), persists measurements to the content-addressed experiment
+// store at -store (and/or the legacy tune/v1 -tunecache file), and
 // prints the tuned-vs-default report and per-layer algorithm selection.
+// With -shard i/N it measures only its deterministic partition of the
+// pruned lattice and writes a partial store; `store merge` over all N
+// partials reproduces the single-process store byte for byte.
+//
+// The `store` subcommand operates on store/v1 files: `merge` unions
+// partial stores (loud on conflicts), `ls` lists entries, and `verify`
+// exits non-zero on any quarantined, conflicting, or (for tune-mode
+// entries) round-trip-failing entry.
 //
 // The `calibrate` subcommand runs the internal/microbench probe suite
 // against every registered device file (or just -device when given) and
@@ -58,7 +70,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	backend := fs.String("backend", "threaded", "simulator execution backend (threaded or switch; bit-identical results)")
 	simWorkers := fs.Int("simworkers", 0, "worker goroutines per sharded full-grid simulation (0 = GOMAXPROCS)")
 	budget := fs.Int("budget", 12, "tune: max simulated candidate configs per layer (paper default always included)")
-	tuneCache := fs.String("tunecache", "", "tune: path of the persistent JSON tuning cache (empty = in-memory only)")
+	tuneCache := fs.String("tunecache", "", "tune: path of the legacy tune/v1 JSON cache (imported into the store, kept updated)")
+	storePath := fs.String("store", "", "tune: path of the content-addressed store/v1 experiment store (empty = in-memory only)")
+	storeVerify := fs.Bool("storeverify", false, "tune: force the full key round-trip check on every store hit")
+	shard := fs.String("shard", "", "tune: deterministic lattice partition i/N; requires -store, suppresses tables")
 	device := fs.String("device", "rtx2070", "tune/calibrate: registered device name (see `winograd-bench` listing)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -84,6 +99,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "  all        run everything in paper order")
 		fmt.Fprintln(stdout, "  tune       autotune per-layer configs and algorithm selection")
 		fmt.Fprintln(stdout, "  calibrate  probe every registered device spec against the simulator")
+		fmt.Fprintln(stdout, "  store      merge/ls/verify content-addressed experiment stores")
 		fmt.Fprintf(stdout, "devices: %s\n", strings.Join(gpu.DeviceNames(), ", "))
 		return 0
 	}
@@ -92,7 +108,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	// cache, and tables, so it cannot be mixed with experiment ids.
 	if len(args) == 1 && args[0] == "tune" {
 		return runTune(tuneOpts{waves: *waves, quick: *quick, markdown: *markdown,
-			jobs: *jobs, budget: *budget, cache: *tuneCache, device: *device}, stdout, stderr)
+			jobs: *jobs, budget: *budget, cache: *tuneCache, storePath: *storePath,
+			storeVerify: *storeVerify, shard: *shard, device: *device}, stdout, stderr)
+	}
+
+	// `store` operates on store/v1 files: merge, ls, verify.
+	if len(args) >= 1 && args[0] == "store" {
+		return runStore(args[1:], stdout, stderr)
 	}
 
 	// `calibrate` is likewise its own subcommand. -device defaults to

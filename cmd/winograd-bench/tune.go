@@ -6,64 +6,125 @@ import (
 	"time"
 
 	"repro/internal/gpu"
+	"repro/internal/store"
 	"repro/internal/tune"
 )
 
 // tuneOpts carries the tune-subcommand flags out of run's flag set.
 type tuneOpts struct {
-	waves    int
-	quick    bool
-	markdown bool
-	jobs     int
-	budget   int
-	cache    string
-	device   string
+	waves       int
+	quick       bool
+	markdown    bool
+	jobs        int
+	budget      int
+	cache       string // legacy tune/v1 file (imported and kept updated)
+	storePath   string // content-addressed store/v1 file
+	storeVerify bool
+	shard       string
+	device      string
 }
 
 // runTune is the `winograd-bench tune` subcommand: search the scheduling
 // knob space per ResNet layer on the simulator, persist measurements to
-// the JSON tuning cache, and print the tuned-vs-default report plus the
+// the content-addressed experiment store (and, for compatibility, the
+// legacy tune/v1 cache), and print the tuned-vs-default report plus the
 // per-layer algorithm selection table. Tables go to stdout and are
-// byte-identical for any -jobs value and for cold versus warm caches;
-// cache warnings and scheduling stats go to stderr.
+// byte-identical for any -jobs value and for cold versus warm stores;
+// store/cache warnings and scheduling stats go to stderr.
+//
+// With -shard i/N the run measures only its deterministic partition of
+// the pruned candidate lattice and emits a partial store: no tables
+// (they need the whole lattice), just the shard's measurements, such
+// that `store merge` over all N partials reproduces the single-process
+// store byte for byte.
 func runTune(o tuneOpts, stdout, stderr io.Writer) int {
 	dev, err := gpu.DeviceByName(o.device)
 	if err != nil {
 		fmt.Fprintf(stderr, "winograd-bench tune: %v\n", err)
 		return 2
 	}
+	shard, err := tune.ParseShard(o.shard)
+	if err != nil {
+		fmt.Fprintf(stderr, "winograd-bench tune: %v\n", err)
+		return 2
+	}
+	sharded := shard.Count > 1
+	if sharded && o.cache != "" {
+		fmt.Fprintln(stderr, "winograd-bench tune: -tunecache is a whole-lattice legacy format; shards persist through -store only")
+		return 2
+	}
+	if sharded && o.storePath == "" {
+		fmt.Fprintln(stderr, "winograd-bench tune: -shard requires -store (the partial store is the shard's product)")
+		return 2
+	}
 
-	cache := tune.NewCache()
-	if o.cache != "" {
-		var warns []string
-		cache, warns = tune.Load(o.cache)
-		for _, w := range warns {
+	st := store.New()
+	if o.storePath != "" {
+		var rep *store.LoadReport
+		st, rep = store.Load(o.storePath)
+		for _, w := range rep.Warnings {
 			fmt.Fprintln(stderr, w)
 		}
 	}
 
-	tuner := &tune.Tuner{Dev: dev, Budget: o.budget, Waves: o.waves, Workers: o.jobs}
+	// Legacy tune/v1 import: entries seed the store under current-source
+	// keys, then the file is rewritten with this run's measurements so
+	// existing -tunecache workflows keep functioning.
+	var legacy *tune.Cache
+	if o.cache != "" {
+		var warns []string
+		legacy, warns = tune.Load(o.cache)
+		for _, w := range warns {
+			fmt.Fprintln(stderr, w)
+		}
+		for _, e := range legacy.Entries {
+			if e.Device != dev.Name {
+				continue
+			}
+			if err := tune.SeedStore(st, dev, e); err != nil {
+				fmt.Fprintf(stderr, "winograd-bench tune: importing legacy cache: %v\n", err)
+				return 1
+			}
+		}
+	}
+
+	tuner := &tune.Tuner{Dev: dev, Budget: o.budget, Waves: o.waves, Workers: o.jobs,
+		Shard: shard, VerifyStore: o.storeVerify,
+		Warnf: func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) }}
 	start := time.Now()
-	results, stats, err := tuner.Tune(cache, tune.SweepCases(o.quick))
+	results, stats, err := tuner.Tune(st, tune.SweepCases(o.quick))
 	if err != nil {
 		fmt.Fprintf(stderr, "winograd-bench tune: %v\n", err)
 		return 1
 	}
 
-	for _, t := range []interface {
-		Format() string
-		Markdown() string
-	}{tune.Report(dev, results), tune.SelectionTable(dev, results)} {
-		if o.markdown {
-			fmt.Fprintln(stdout, t.Markdown())
-		} else {
-			fmt.Fprintln(stdout, t.Format())
+	if !sharded {
+		for _, t := range []interface {
+			Format() string
+			Markdown() string
+		}{tune.Report(dev, results), tune.SelectionTable(dev, results)} {
+			if o.markdown {
+				fmt.Fprintln(stdout, t.Markdown())
+			} else {
+				fmt.Fprintln(stdout, t.Format())
+			}
 		}
 	}
 
 	if o.cache != "" {
-		if err := cache.Save(o.cache); err != nil {
-			fmt.Fprintf(stderr, "winograd-bench tune: saving cache: %v\n", err)
+		for _, r := range results {
+			for _, e := range r.Candidates {
+				legacy.Put(e)
+			}
+		}
+		if err := legacy.Save(o.cache); err != nil {
+			fmt.Fprintf(stderr, "winograd-bench tune: saving legacy cache: %v\n", err)
+			return 1
+		}
+	}
+	if o.storePath != "" {
+		if err := st.Save(o.storePath); err != nil {
+			fmt.Fprintf(stderr, "winograd-bench tune: saving store: %v\n", err)
 			return 1
 		}
 	}
@@ -72,8 +133,12 @@ func runTune(o tuneOpts, stdout, stderr io.Writer) int {
 	for _, r := range results {
 		simulated += r.Simulated
 	}
-	fmt.Fprintf(stderr, "tuned %d layers on %s: %d candidates simulated this run, %d cached total, in %v on %d workers\n",
-		len(results), dev.Name, simulated, cache.Len(),
+	shardNote := ""
+	if sharded {
+		shardNote = fmt.Sprintf(" (shard %d/%d)", shard.Index, shard.Count)
+	}
+	fmt.Fprintf(stderr, "tuned %d layers on %s%s: %d candidates simulated this run, %d in store, in %v on %d workers\n",
+		len(results), dev.Name, shardNote, simulated, st.Len(),
 		time.Since(start).Round(time.Millisecond), stats.Workers)
 	return 0
 }

@@ -97,6 +97,15 @@ func TestKernelSampleCaching(t *testing.T) {
 	if s1.CyclesPerWave <= 0 || s1.SOL <= 0 || s1.TotalBlocks != 4 {
 		t.Fatalf("sample fields: %+v", s1)
 	}
+	// Result provenance: the sample names the exact kernel it measured,
+	// matching what the store layer derives from (config, problem).
+	want, err := kernels.SourceHash(kernels.Ours(), p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.KernelHash != want {
+		t.Fatalf("sample kernel hash %q, want %q", s1.KernelHash, want)
+	}
 }
 
 func TestSampleExtrapolation(t *testing.T) {

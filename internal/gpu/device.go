@@ -26,7 +26,11 @@
 //     register/shared-memory limits exactly as in paper Section 7.1.
 package gpu
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+)
 
 // LatencyTable is a device's fixed-latency instruction timing: the values
 // the paper's Table 2 measures for Volta/Turing and which the control-code
@@ -114,6 +118,23 @@ type Device struct {
 
 	// Lat is the fixed-latency instruction timing table.
 	Lat LatencyTable `json:"lat"`
+}
+
+// SpecHash is a short content hash of the device specification: every
+// field that shapes simulation results, hashed over the spec's canonical
+// JSON encoding. Two devices that simulate identically hash identically;
+// editing any field of a device file yields a new hash. The experiment
+// store (internal/store) keys results by Name+SpecHash, so measurements
+// taken under an older spec are invalidated by a key miss instead of
+// silently being served for a machine that no longer exists.
+func (d Device) SpecHash() string {
+	data, err := json.Marshal(d)
+	if err != nil {
+		// Device is a struct of plain scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("gpu: marshaling device %s: %v", d.Name, err))
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x", sum[:12])
 }
 
 // V100 returns the Volta Tesla V100 (SXM2) model used in the paper.

@@ -222,3 +222,39 @@ func TestDeviceWithDefaults(t *testing.T) {
 		t.Error("WithDefaults overwrote set fields")
 	}
 }
+
+// TestSpecHash pins the content-addressing contract the experiment store
+// builds on: the hash is a pure function of the spec, every registered
+// device hashes distinctly, and editing any field yields a new hash.
+func TestSpecHash(t *testing.T) {
+	if got, again := V100().SpecHash(), V100().SpecHash(); got != again {
+		t.Fatalf("SpecHash not deterministic: %s vs %s", got, again)
+	}
+	if len(V100().SpecHash()) != 24 {
+		t.Fatalf("SpecHash length %d, want 24 hex chars", len(V100().SpecHash()))
+	}
+	seen := map[string]string{}
+	for _, name := range DeviceNames() {
+		d, err := DeviceByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := d.SpecHash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("devices %s and %s share spec hash %s", prev, name, h)
+		}
+		seen[h] = name
+	}
+	edited := V100()
+	edited.DRAMLatencyCycles++
+	if edited.SpecHash() == V100().SpecHash() {
+		t.Fatal("editing a field did not change the spec hash")
+	}
+	// The name is part of the spec: a renamed-but-identical machine is a
+	// different store address (results never cross device names).
+	renamed := V100()
+	renamed.Name = "v100-copy"
+	if renamed.SpecHash() == V100().SpecHash() {
+		t.Fatal("renaming did not change the spec hash")
+	}
+}

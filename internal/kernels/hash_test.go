@@ -1,0 +1,68 @@
+package kernels
+
+import "testing"
+
+// TestSourceHash pins the kernel-source hashing the experiment store
+// keys on: deterministic, sensitive to every generation input, and
+// consistent with hashing the generated kernel directly.
+func TestSourceHash(t *testing.T) {
+	p := Problem{C: 8, K: 64, N: 32, H: 4, W: 4}
+	h1, err := SourceHash(Ours(), p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := SourceHash(Ours(), p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("SourceHash not deterministic: %s vs %s", h1, h2)
+	}
+	if len(h1) != 24 {
+		t.Fatalf("hash length %d, want 24 hex chars", len(h1))
+	}
+
+	k, err := Generate(Ours(), p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := HashKernel(k); got != h1 {
+		t.Fatalf("SourceHash %s != HashKernel(Generate(...)) %s", h1, got)
+	}
+
+	// Every generation input is part of the address: config, problem,
+	// and the main-loop-only mode all produce distinct kernels.
+	distinct := map[string]string{"default full": h1}
+	check := func(label string, cfg Config, p Problem, mainOnly bool) {
+		t.Helper()
+		h, err := SourceHash(cfg, p, mainOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for prev, ph := range distinct {
+			if ph == h {
+				t.Fatalf("%s and %s share hash %s", label, prev, h)
+			}
+		}
+		distinct[label] = h
+	}
+	check("main-loop only", Ours(), p, true)
+	check("ldg2 config", Config{BK: 64, LDGGap: 2, UseP2R: true}.Canonical(), p, false)
+	check("other problem", Ours(), Problem{C: 8, K: 64, N: 32, H: 8, W: 8}, false)
+
+	// Equal-kernel config spellings (canonicalization collapses them)
+	// share the hash: the address names the kernel, not the spelling.
+	alias := Ours()
+	alias.DeclaredSmem = 0
+	ha, err := SourceHash(alias.Canonical(), p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := SourceHash(Ours().Canonical(), p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatal("canonical-equal configs hash differently")
+	}
+}

@@ -1,0 +1,84 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Conflict is one key held by two stores with different payloads — the
+// situation Merge refuses to paper over. Labels name the provenance of
+// each side (file paths at the CLI, shard names in tests).
+type Conflict struct {
+	Key                    Key
+	DstLabel, SrcLabel     string
+	DstHash, SrcHash       string
+	DstPayload, SrcPayload string
+}
+
+func (c Conflict) String() string {
+	return fmt.Sprintf("store: conflict on %s:\n  %s has hash %s payload %s\n  %s has hash %s payload %s",
+		c.Key, c.DstLabel, c.DstHash, c.DstPayload, c.SrcLabel, c.SrcHash, c.SrcPayload)
+}
+
+// ConflictError carries every conflict found in one merge, so a CI log
+// shows the whole divergence at once instead of one key per run.
+type ConflictError struct {
+	Conflicts []Conflict
+}
+
+func (e *ConflictError) Error() string {
+	lines := make([]string, len(e.Conflicts))
+	for i, c := range e.Conflicts {
+		lines[i] = c.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Merge folds src into s. The operation is:
+//
+//   - commutative and associative: the union of entry sets does not
+//     depend on merge order, and Save's canonical serialization makes
+//     the resulting bytes order-independent too;
+//   - idempotent: an entry present on both sides with the same content
+//     hash is kept once, so re-merging a shard (or merging overlapping
+//     shards) is a no-op;
+//   - loud on divergence: the same key with a different payload is an
+//     error naming both provenances and both payloads — never a silent
+//     last-writer-wins. On error s retains every non-conflicting entry
+//     of src (the merge is still a valid union of the agreeing parts),
+//     but callers must treat the store as suspect and not publish it.
+//
+// dstLabel and srcLabel name the two sides in conflict messages.
+func (s *Store) Merge(src *Store, dstLabel, srcLabel string) error {
+	// Deterministic iteration so conflict lists are stable.
+	keys := make([]string, 0, len(src.entries))
+	for k := range src.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var conflicts []Conflict
+	for _, k := range keys {
+		se := src.entries[k]
+		de, ok := s.entries[k]
+		if !ok {
+			if s.entries == nil {
+				s.entries = map[string]Entry{}
+			}
+			s.entries[k] = se
+			continue
+		}
+		if de.Hash == se.Hash {
+			continue // idempotent: identical content, keep one
+		}
+		conflicts = append(conflicts, Conflict{
+			Key: se.Key, DstLabel: dstLabel, SrcLabel: srcLabel,
+			DstHash: de.Hash, SrcHash: se.Hash,
+			DstPayload: string(de.Payload), SrcPayload: string(se.Payload),
+		})
+	}
+	if len(conflicts) > 0 {
+		return &ConflictError{Conflicts: conflicts}
+	}
+	return nil
+}

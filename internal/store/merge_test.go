@@ -1,0 +1,180 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mkEntries builds n distinct entries with deterministic payloads.
+func mkEntries(t *testing.T, n int) []struct {
+	K Key
+	V payload
+} {
+	t.Helper()
+	out := make([]struct {
+		K Key
+		V payload
+	}, n)
+	for i := range out {
+		out[i].K = testKey(i)
+		out[i].V = payload{Seconds: float64(i) * 0.125, Note: fmt.Sprintf("e%d", i)}
+	}
+	return out
+}
+
+func saveBytes(t *testing.T, s *Store) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMergeProperties drives the algebraic laws over random partitions:
+// however the entry set is split into shards and in whatever order (or
+// grouping) the shards are merged, the resulting store serializes to the
+// byte-identical file, and merging a shard twice changes nothing.
+func TestMergeProperties(t *testing.T) {
+	entries := mkEntries(t, 23)
+	reference := New()
+	for _, e := range entries {
+		mustPut(t, reference, e.K, e.V)
+	}
+	want := saveBytes(t, reference)
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		shardCount := 1 + rng.Intn(5)
+		shards := make([]*Store, shardCount)
+		for i := range shards {
+			shards[i] = New()
+		}
+		for _, e := range entries {
+			mustPut(t, shards[rng.Intn(shardCount)], e.K, e.V)
+		}
+
+		// Random merge order (commutativity across permutations).
+		order := rng.Perm(shardCount)
+		merged := New()
+		for _, i := range order {
+			if err := merged.Merge(shards[i], "acc", fmt.Sprintf("shard%d", i)); err != nil {
+				t.Fatalf("trial %d: merge shard %d: %v", trial, i, err)
+			}
+		}
+		if got := saveBytes(t, merged); got != want {
+			t.Fatalf("trial %d: merged bytes differ from single-store bytes (order %v)", trial, order)
+		}
+
+		// Random grouping (associativity): fold a random prefix into one
+		// intermediate store, the rest into another, then combine.
+		if shardCount >= 2 {
+			cut := 1 + rng.Intn(shardCount-1)
+			left, right := New(), New()
+			for _, i := range order[:cut] {
+				if err := left.Merge(shards[i], "left", fmt.Sprintf("shard%d", i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, i := range order[cut:] {
+				if err := right.Merge(shards[i], "right", fmt.Sprintf("shard%d", i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := left.Merge(right, "left", "right"); err != nil {
+				t.Fatal(err)
+			}
+			if got := saveBytes(t, left); got != want {
+				t.Fatalf("trial %d: grouped merge bytes differ (cut %d)", trial, cut)
+			}
+		}
+
+		// Idempotence: re-merging every shard into the already-complete
+		// store is a no-op.
+		for i, sh := range shards {
+			if err := merged.Merge(sh, "acc", fmt.Sprintf("shard%d-again", i)); err != nil {
+				t.Fatalf("trial %d: re-merge shard %d: %v", trial, i, err)
+			}
+		}
+		if got := saveBytes(t, merged); got != want {
+			t.Fatalf("trial %d: re-merge changed the bytes", trial)
+		}
+
+		// Overlapping shards (same entry in several shards) still merge
+		// to the reference bytes.
+		overlap := New()
+		for _, e := range entries[:5] {
+			mustPut(t, overlap, e.K, e.V)
+		}
+		if err := merged.Merge(overlap, "acc", "overlap"); err != nil {
+			t.Fatalf("trial %d: overlap merge: %v", trial, err)
+		}
+		if got := saveBytes(t, merged); got != want {
+			t.Fatalf("trial %d: overlap merge changed the bytes", trial)
+		}
+	}
+}
+
+// TestMergeConflictIsLoud pins the divergence contract: the same key
+// with different payloads is an error that names both provenances, both
+// hashes, and both payloads — and never silently keeps either side as if
+// nothing happened.
+func TestMergeConflictIsLoud(t *testing.T) {
+	k := testKey(3)
+	a, b := New(), New()
+	mustPut(t, a, k, payload{Seconds: 1.0, Note: "shard A measured this"})
+	mustPut(t, b, k, payload{Seconds: 2.0, Note: "shard B disagrees"})
+
+	err := a.Merge(b, "shard-a.json", "shard-b.json")
+	if err == nil {
+		t.Fatal("divergent merge succeeded silently")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"conflict", k.String(),
+		"shard-a.json", "shard-b.json",
+		"shard A measured this", "shard B disagrees",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("conflict error %q missing %q", msg, want)
+		}
+	}
+	ce, ok := err.(*ConflictError)
+	if !ok {
+		t.Fatalf("error type %T, want *ConflictError", err)
+	}
+	if len(ce.Conflicts) != 1 {
+		t.Fatalf("conflict count %d, want 1", len(ce.Conflicts))
+	}
+	// The destination keeps its own measurement (no silent overwrite).
+	e, _ := a.Get(k)
+	if !strings.Contains(string(e.Payload), "shard A") {
+		t.Fatalf("conflict overwrote the destination entry: %s", e.Payload)
+	}
+
+	// Every conflict in a multi-conflict merge is reported at once.
+	k2 := testKey(4)
+	mustPut(t, a, k2, payload{Seconds: 3})
+	mustPut(t, b, k2, payload{Seconds: 4})
+	err = a.Merge(b, "shard-a.json", "shard-b.json")
+	ce = err.(*ConflictError)
+	if len(ce.Conflicts) != 2 {
+		t.Fatalf("multi-conflict merge reported %d conflicts, want 2", len(ce.Conflicts))
+	}
+
+	// Agreeing entries still transfer even when the merge errors.
+	k3 := testKey(5)
+	mustPut(t, b, k3, payload{Seconds: 5})
+	_ = a.Merge(b, "a", "b")
+	if _, ok := a.Get(k3); !ok {
+		t.Fatal("non-conflicting entry was not merged alongside the conflict error")
+	}
+}

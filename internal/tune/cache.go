@@ -14,6 +14,14 @@ import (
 // not an error) any file carrying a different schema: a stale cache must
 // degrade to a cold one, never poison a run with entries measured under
 // different semantics.
+//
+// tune/v1 is the legacy persistence format: the content-addressed
+// experiment store (internal/store, store/v1) supersedes it, because the
+// flat cache cannot tell whether its entries were measured under the
+// current kernel generator or device specs. Legacy files remain
+// importable — SeedStore converts entries into store keys under the
+// current sources' hashes, inheriting exactly the trust the old
+// warm-cache path always assumed.
 const Schema = "tune/v1"
 
 // Entry is one simulator measurement of a kernel configuration on a
@@ -45,8 +53,9 @@ func cacheKey(device string, p kernels.Problem, waves int, cfgKey string) string
 	return fmt.Sprintf("%s|%s|waves%d|%s", device, p.Key(), waves, cfgKey)
 }
 
-// Cache is the persistent tuning-result store, keyed by
-// (device, problem, waves, Config.Key).
+// Cache is the in-memory tuning-result working set, keyed by
+// (device, problem, waves, Config.Key) — and, via Load/Save, the legacy
+// tune/v1 on-disk format.
 type Cache struct {
 	Schema  string  `json:"schema"`
 	Entries []Entry `json:"entries"`

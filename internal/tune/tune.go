@@ -7,6 +7,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/gpu"
 	"repro/internal/kernels"
+	"repro/internal/store"
 )
 
 // Case is one tuned problem: a ResNet layer/batch tag and its shape.
@@ -50,9 +51,12 @@ type Result struct {
 }
 
 // Tuner drives the search: static pruning per case, then all surviving
-// cache misses through one bench.Runner job graph (deduplicated across
+// store misses through one bench.Runner job graph (deduplicated across
 // cases and parallel across Workers), then results read back from the
-// cache so cold and warm runs render identically.
+// in-memory working set so cold and warm runs render identically. The
+// persistent layer is the content-addressed experiment store: hits are
+// measurements whose kernel source and device spec still hash to the
+// stored key, so stale results miss instead of being served.
 type Tuner struct {
 	Dev    gpu.Device
 	Space  Space
@@ -60,6 +64,22 @@ type Tuner struct {
 	Waves  int // sampling depth (default 4, matching bench)
 	// Workers bounds concurrent simulations (GOMAXPROCS when <= 0).
 	Workers int
+	// Shard restricts the run to a deterministic partition of the pruned
+	// candidate lattice (see Shard.Owns). When sharded (Count > 1) Tune
+	// fills the store with the shard's measurements and returns nil
+	// results: tables need the whole lattice, which only the merged
+	// store has.
+	Shard Shard
+	// VerifyStore forces the full key round-trip check on every store
+	// hit (config/shape canonicalization, kernel and device-spec
+	// rehashing). Off by default: store.Load has already certified
+	// payload bytes against their content hash, so untouched entries
+	// skip the expensive validation.
+	VerifyStore bool
+	// Warnf, when set, receives quarantine warnings for store entries
+	// that fail validation (the entry is skipped and re-simulated, the
+	// run never fails on corrupt data — tune's cold-cache policy).
+	Warnf func(format string, args ...any)
 }
 
 func (t *Tuner) budget() int {
@@ -76,35 +96,62 @@ func (t *Tuner) waves() int {
 	return t.Waves
 }
 
-// Tune searches every case, filling cache with any measurements it is
-// missing, and returns one Result per case in the given order. The
-// returned tables are a pure function of the final cache contents: a
-// warm cache yields the same results with zero simulations.
-func (t *Tuner) Tune(cache *Cache, cases []Case) ([]Result, *bench.RunStats, error) {
+func (t *Tuner) warnf(format string, args ...any) {
+	if t.Warnf != nil {
+		t.Warnf(format, args...)
+	}
+}
+
+// Tune searches every case, filling the store with any measurements it
+// is missing, and returns one Result per case in the given order. The
+// returned tables are a pure function of the final measurements: a warm
+// store yields the same results with zero simulations, and a kernel or
+// device-spec change invalidates warm entries by a key miss. When the
+// Tuner is sharded, Tune measures only its partition of the lattice and
+// returns nil results (the partial store is the product).
+func (t *Tuner) Tune(st *store.Store, cases []Case) ([]Result, *bench.RunStats, error) {
 	space := t.Space
 	if len(space.BK) == 0 && len(space.YieldEvery) == 0 && len(space.LDGGap) == 0 &&
 		len(space.STSGap) == 0 && len(space.UseP2R) == 0 && len(space.DeclaredSmem) == 0 {
 		space = DefaultSpace()
 	}
 	cands := space.Enumerate()
+	cache := NewCache() // per-run working set, filled from store hits and fresh samples
 
 	type plan struct {
 		c      Case
-		kept   []kernels.Config
-		misses []kernels.Config
+		mine   []kernels.Config     // shard-owned survivors of static pruning
+		misses []kernels.Config     // shard-owned, not in the store, lint-clean
+		keys   map[string]store.Key // store key per config key, for mine
 		stats  PruneStats
 	}
 	plans := make([]plan, 0, len(cases))
 	var jobs []bench.Job
 	for _, cs := range cases {
-		pl := plan{c: cs}
+		pl := plan{c: cs, keys: map[string]store.Key{}}
 		pl.stats.Enumerated = len(cands)
-		pl.kept = StaticPrune(t.Dev, cs.P, cands, t.budget(), &pl.stats)
+		kept := StaticPrune(t.Dev, cs.P, cands, t.budget(), &pl.stats)
 		var misses []kernels.Config
-		for _, cfg := range pl.kept {
-			if _, ok := cache.Get(t.Dev.Name, cs.P, t.waves(), cfg.Key()); !ok {
-				misses = append(misses, cfg)
+		for _, cfg := range kept {
+			key, err := StoreKey(t.Dev, cs.P, t.waves(), cfg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("tune: %s: %w", cs.Tag, err)
 			}
+			if !t.Shard.Owns(key) {
+				continue
+			}
+			pl.mine = append(pl.mine, cfg)
+			pl.keys[cfg.Key()] = key
+			if se, ok := st.Get(key); ok {
+				e, err := EntryFromStore(se, t.waves(), t.VerifyStore)
+				if err != nil {
+					t.warnf("%v (quarantined, re-simulating)", err)
+				} else {
+					cache.Put(e)
+					continue
+				}
+			}
+			misses = append(misses, cfg)
 		}
 		linted, err := LintPrune(cs.P, misses, &pl.stats)
 		if err != nil {
@@ -132,22 +179,36 @@ func (t *Tuner) Tune(cache *Cache, cases []Case) ([]Result, *bench.RunStats, err
 		return nil, stats, err
 	}
 
-	// Read the warm samples back and persist them.
+	// Read the warm samples back and persist them to the store.
 	for _, pl := range plans {
 		for _, cfg := range pl.misses {
 			s, err := ctx.KernelSample(t.Dev, cfg, pl.c.P, false)
 			if err != nil {
 				return nil, stats, err
 			}
-			cache.Put(t.entryFrom(pl.c.P, cfg, s))
+			e := t.entryFrom(pl.c.P, cfg, s)
+			cache.Put(e)
+			if err := st.Put(pl.keys[cfg.Key()], e); err != nil {
+				return nil, stats, err
+			}
 		}
 	}
 
-	// Results come from the cache alone.
+	// A shard's product is the partial store, not tables: rendering
+	// needs the whole lattice, which only the merged store has.
+	if t.Shard.enabled() {
+		var results []Result
+		for _, pl := range plans {
+			results = append(results, Result{Case: pl.c, Stats: pl.stats, Simulated: len(pl.misses)})
+		}
+		return results, stats, nil
+	}
+
+	// Results come from the working set alone.
 	results := make([]Result, 0, len(plans))
 	for _, pl := range plans {
 		r := Result{Case: pl.c, Stats: pl.stats, Simulated: len(pl.misses)}
-		for _, cfg := range pl.kept {
+		for _, cfg := range pl.mine {
 			if e, ok := cache.Get(t.Dev.Name, pl.c.P, t.waves(), cfg.Key()); ok {
 				r.Candidates = append(r.Candidates, e)
 			}

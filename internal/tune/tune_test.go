@@ -9,6 +9,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/kernels"
 	"repro/internal/model"
+	"repro/internal/store"
 )
 
 func TestEnumerateCanonicalSortedDeduped(t *testing.T) {
@@ -95,42 +96,44 @@ func tinyCase() Case {
 	return Case{Tag: "TinyN32", P: kernels.Problem{C: 8, K: 64, N: 32, H: 4, W: 4}}
 }
 
-func TestTuneDeterministicAcrossWorkersAndCacheState(t *testing.T) {
+func TestTuneDeterministicAcrossWorkersAndStoreState(t *testing.T) {
 	dir := t.TempDir()
 	dev := gpu.RTX2070()
-	run := func(workers int, cache *Cache) ([]Result, string) {
-		tn := &Tuner{Dev: dev, Budget: 4, Workers: workers}
-		results, _, err := tn.Tune(cache, []Case{tinyCase()})
+	run := func(workers int, st *store.Store) ([]Result, string) {
+		tn := &Tuner{Dev: dev, Budget: 4, Workers: workers,
+			Warnf: func(format string, args ...any) { t.Errorf("unexpected warning: "+format, args...) }}
+		results, _, err := tn.Tune(st, []Case{tinyCase()})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return results, Report(dev, results).Format() + SelectionTable(dev, results).Format()
 	}
+	save := func(st *store.Store, name string) string {
+		path := filepath.Join(dir, name)
+		if err := st.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		b, _ := os.ReadFile(path)
+		return string(b)
+	}
 
-	c1 := NewCache()
-	r1, tab1 := run(1, c1)
-	c4 := NewCache()
-	_, tab4 := run(4, c4)
+	s1 := store.New()
+	r1, tab1 := run(1, s1)
+	s4 := store.New()
+	_, tab4 := run(4, s4)
 	if tab1 != tab4 {
 		t.Fatalf("tables differ between -jobs 1 and -jobs 4:\n%s\n---\n%s", tab1, tab4)
 	}
-	p1, p4 := filepath.Join(dir, "jobs1.json"), filepath.Join(dir, "jobs4.json")
-	if err := c1.Save(p1); err != nil {
-		t.Fatal(err)
-	}
-	if err := c4.Save(p4); err != nil {
-		t.Fatal(err)
-	}
-	b1, _ := os.ReadFile(p1)
-	b4, _ := os.ReadFile(p4)
-	if string(b1) != string(b4) {
-		t.Fatal("cache files differ between -jobs 1 and -jobs 4")
+	b1 := save(s1, "jobs1.json")
+	b4 := save(s4, "jobs4.json")
+	if b1 != b4 {
+		t.Fatal("store files differ between -jobs 1 and -jobs 4")
 	}
 
 	// Warm rerun: zero simulations, identical output, unchanged bytes.
-	warm, warns := Load(p1)
-	if len(warns) != 0 {
-		t.Fatalf("unexpected load warnings: %v", warns)
+	warm, rep := store.Load(filepath.Join(dir, "jobs1.json"))
+	if len(rep.Warnings) != 0 || rep.Quarantined != 0 {
+		t.Fatalf("unexpected load report: %+v", rep)
 	}
 	rw, tabw := run(4, warm)
 	if rw[0].Simulated != 0 {
@@ -139,13 +142,8 @@ func TestTuneDeterministicAcrossWorkersAndCacheState(t *testing.T) {
 	if tabw != tab1 {
 		t.Fatal("warm table differs from cold table")
 	}
-	pw := filepath.Join(dir, "warm.json")
-	if err := warm.Save(pw); err != nil {
-		t.Fatal(err)
-	}
-	bw, _ := os.ReadFile(pw)
-	if string(bw) != string(b1) {
-		t.Fatal("warm cache bytes differ from cold cache bytes")
+	if bw := save(warm, "warm.json"); bw != b1 {
+		t.Fatal("warm store bytes differ from cold store bytes")
 	}
 
 	if r1[0].Simulated == 0 {
