@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// serveOpts carries the serve-subcommand flags out of run's flag set.
+type serveOpts struct {
+	requests    int
+	seed        uint64
+	jobs        int
+	markdown    bool
+	waves       int
+	device      string
+	storePath   string
+	storeVerify bool
+	execEvery   int
+	listen      string
+}
+
+// runServe is the `winograd-bench serve` subcommand. By default it runs
+// the deterministic load generator against the demo model — the phased
+// arrival stream that exercises every batch-size sweet spot, the
+// padded-partial deadline fallback, and a thousand-plus in-flight
+// requests — and prints the report (latency percentiles, batch
+// occupancy, sampled real executions) to stdout, byte-identical for a
+// fixed -seed across runs and -jobs counts. With -store the algorithm
+// selection warms from the content-addressed tune store; otherwise the
+// analytic model stands in for cold shapes.
+//
+// With -listen the real batched server starts instead, serving POST
+// /v1/infer until the process is killed.
+func runServe(o serveOpts, stdout, stderr io.Writer) int {
+	dev, err := gpu.DeviceByName(o.device)
+	if err != nil {
+		fmt.Fprintf(stderr, "winograd-bench serve: %v\n", err)
+		return 2
+	}
+	sel := serve.NewTuneSelector(o.waves)
+	if o.storePath != "" {
+		st, rep := store.Load(o.storePath)
+		for _, w := range rep.Warnings {
+			fmt.Fprintln(stderr, w)
+		}
+		n, warns := sel.WarmFromStore(st, o.storeVerify)
+		for _, w := range warns {
+			fmt.Fprintln(stderr, w)
+		}
+		fmt.Fprintf(stderr, "warmed %d tune measurements from %s\n", n, o.storePath)
+	}
+
+	if o.listen != "" {
+		model := serve.DemoModel(o.seed)
+		s, err := serve.NewServer(serve.Config{
+			Model:    model,
+			Selector: sel,
+			Devices:  []gpu.Device{dev},
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "winograd-bench serve: %v\n", err)
+			return 1
+		}
+		defer s.Close()
+		fmt.Fprintf(stderr, "serving layers %v on %s at %s (POST /v1/infer)\n",
+			model.LayerNames(), dev.Name, o.listen)
+		if err := http.ListenAndServe(o.listen, s.Handler()); err != nil {
+			fmt.Fprintf(stderr, "winograd-bench serve: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	start := time.Now()
+	rep, err := serve.Generate(serve.LoadConfig{
+		Seed:      o.seed,
+		Requests:  o.requests,
+		Devices:   []gpu.Device{dev},
+		Selector:  sel,
+		ExecEvery: o.execEvery,
+		Jobs:      o.jobs,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "winograd-bench serve: %v\n", err)
+		return 1
+	}
+	if o.markdown {
+		fmt.Fprint(stdout, rep.Markdown())
+	} else {
+		fmt.Fprint(stdout, rep.Format())
+	}
+	fmt.Fprintf(stderr, "simulated %d arrivals (%d rejected), peak in-flight %d, %d batches (%d real) in %v on %d workers\n",
+		rep.Total, rep.Rejected, rep.MaxInFlight, sumBatches(rep.Batches), rep.Sampled,
+		time.Since(start).Round(time.Millisecond), o.jobs)
+	return 0
+}
+
+func sumBatches(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

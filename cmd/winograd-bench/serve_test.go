@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+const serveGoldenPath = "testdata/serve_quick.golden"
+
+// TestServeGolden pins the load-generator report to a committed golden,
+// byte for byte, and checks it is independent of the worker count — the
+// serving twin of the experiment-table determinism contract: the report
+// is a pure function of (seed, config) even though every sampled batch
+// really executes through cudart.Forward.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./cmd/winograd-bench -run TestServeGolden -update
+func TestServeGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load generation with real batch executions takes seconds")
+	}
+	args := []string{"-requests", "600", "-seed", "42", "serve"}
+	seq, _, code := runCapture(t, append([]string{"-jobs", "1"}, args...)...)
+	if code != 0 {
+		t.Fatalf("sequential serve run exited %d", code)
+	}
+	if *update {
+		if err := os.WriteFile(serveGoldenPath, []byte(seq), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", serveGoldenPath, len(seq))
+	}
+	golden, err := os.ReadFile(serveGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if diff := firstDiff(string(golden), seq); diff != "" {
+		t.Errorf("-jobs 1 stdout diverges from %s:\n%s", serveGoldenPath, diff)
+	}
+	par, _, code := runCapture(t, append([]string{"-jobs", "4"}, args...)...)
+	if code != 0 {
+		t.Fatalf("concurrent serve run exited %d", code)
+	}
+	if diff := firstDiff(seq, par); diff != "" {
+		t.Errorf("-jobs 4 stdout diverges from -jobs 1:\n%s", diff)
+	}
+}
+
+// TestServeUnknownDevice covers the subcommand's error path.
+func TestServeUnknownDevice(t *testing.T) {
+	_, errOut, code := runCapture(t, "-device", "no-such-gpu", "serve")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if errOut == "" {
+		t.Fatal("no error message")
+	}
+}

@@ -96,8 +96,7 @@ func TestRunnerProfiledDeterminism(t *testing.T) {
 	// Every cached sample of the profiled run carries both launches,
 	// and the attribution reconciles with the sample's metrics.
 	n := 0
-	for _, e := range ctx.cache {
-		s := e.s
+	for _, s := range ctx.CachedSamples() {
 		if s.Prof == nil || s.FTFProf == nil {
 			t.Fatal("profiled sample missing a launch profile")
 		}

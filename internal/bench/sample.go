@@ -2,10 +2,10 @@ package bench
 
 import (
 	"math"
-	"sync"
 
 	"repro/internal/gpu"
 	"repro/internal/kernels"
+	"repro/internal/sched"
 )
 
 // Ctx carries experiment-wide settings and the simulation cache (many
@@ -13,10 +13,10 @@ import (
 //
 // The cache is safe for concurrent use: the job Runner fans sample
 // requests out over a worker pool, and identical requests issued from
-// different experiments (or different workers) are deduplicated with a
-// singleflight scheme — the first requester simulates while later
-// requesters of the same key block on its entry, so every distinct
-// sample is simulated exactly once per Ctx.
+// different experiments (or different workers) are deduplicated with the
+// shared caching singleflight (sched.Flight) — the first requester
+// simulates while later requesters of the same key block on its entry,
+// so every distinct sample is simulated exactly once per Ctx.
 type Ctx struct {
 	// Waves is how many occupancy-waves of blocks to sample per SM; the
 	// first wave warms the L2, later waves approximate steady state.
@@ -37,20 +37,10 @@ type Ctx struct {
 	// so samples are cached without regard to it.
 	Sim kernels.SimOpts
 
-	mu    sync.Mutex
-	cache map[string]*sampleEntry
-	// computes counts, per cache key, how many times the simulator
-	// actually ran — the observable the cross-experiment dedup tests and
-	// the runner's stats assert on (every value must be 1).
-	computes map[string]int
-}
-
-// sampleEntry is one singleflight cache slot: done is closed when the
-// owning goroutine has filled s/err.
-type sampleEntry struct {
-	done chan struct{}
-	s    *Sample
-	err  error
+	// flight deduplicates and caches samples per job key; its compute
+	// counts are the observable the cross-experiment dedup tests and the
+	// runner's stats assert on (every value must be 1).
+	flight sched.Flight[*Sample]
 }
 
 // NewCtx returns a context with default sampling depth.
@@ -98,27 +88,12 @@ func (c *Ctx) KernelSampleHot(dev gpu.Device, cfg kernels.Config, p kernels.Prob
 }
 
 // sample returns the cached sample for j, simulating it at most once per
-// Ctx (concurrent requests for one key share a single simulation).
+// Ctx (concurrent requests for one key share a single simulation via the
+// caching singleflight).
 func (c *Ctx) sample(j Job) (*Sample, error) {
-	key := j.Key(c.waves())
-	c.mu.Lock()
-	if c.cache == nil {
-		c.cache = map[string]*sampleEntry{}
-		c.computes = map[string]int{}
-	}
-	if e, ok := c.cache[key]; ok {
-		c.mu.Unlock()
-		<-e.done
-		return e.s, e.err
-	}
-	e := &sampleEntry{done: make(chan struct{})}
-	c.cache[key] = e
-	c.computes[key]++
-	c.mu.Unlock()
-
-	e.s, e.err = c.simulate(j)
-	close(e.done)
-	return e.s, e.err
+	return c.flight.Do(j.Key(c.waves()), func() (*Sample, error) {
+		return c.simulate(j)
+	})
 }
 
 // simulate runs one sample job on a fresh simulator instance.
@@ -163,24 +138,16 @@ func (c *Ctx) simulate(j Job) (*Sample, error) {
 
 // SimulatedSamples reports how many distinct samples this Ctx has
 // actually simulated (cache misses; hits are free).
-func (c *Ctx) SimulatedSamples() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.computes)
-}
+func (c *Ctx) SimulatedSamples() int { return c.flight.Len() }
 
 // ComputeCounts returns a copy of the per-key simulation counts. Under
 // correct deduplication every count is exactly 1 however many
 // experiments or workers requested the key.
-func (c *Ctx) ComputeCounts() map[string]int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int, len(c.computes))
-	for k, v := range c.computes {
-		out[k] = v
-	}
-	return out
-}
+func (c *Ctx) ComputeCounts() map[string]int { return c.flight.ComputeCounts() }
+
+// CachedSamples returns the successfully simulated samples by job key —
+// a read-only snapshot of the warm cache for tests and diagnostics.
+func (c *Ctx) CachedSamples() map[string]*Sample { return c.flight.Values() }
 
 // Seconds extrapolates a sample to full-device runtime via wave
 // quantization: ceil(blocks / (SMs * blocksPerSM)) waves of the sampled

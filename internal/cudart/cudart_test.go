@@ -1,8 +1,11 @@
 package cudart
 
 import (
+	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/conv"
 	"repro/internal/tensor"
@@ -103,6 +106,120 @@ func TestKernelPanicSurfaces(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("expected the kernel panic to surface as an error")
+	}
+	if !strings.Contains(err.Error(), "block (0,0,0), thread 5") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error lacks block/thread attribution: %v", err)
+	}
+}
+
+// TestMultiPanicAggregates pins the aggregation contract: when many
+// threads panic in one launch, the error reports the first panic in
+// (block, tid) order — never an arbitrary scheduling-dependent survivor —
+// and counts the suppressed rest.
+func TestMultiPanicAggregates(t *testing.T) {
+	for rep := 0; rep < 20; rep++ {
+		err := Launch(LaunchConfig{Grid: Dim3{X: 4}, BlockThreads: 64}, func(tc *TCtx) {
+			// Panic in blocks 1..3 on several tids; block 0 stays clean so
+			// the winner is block 1, tid 3.
+			if tc.Ctaid.X > 0 && tc.Tid%20 == 3 {
+				panic(fmt.Sprintf("fault b%d t%d", tc.Ctaid.X, tc.Tid))
+			}
+		})
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+		if !strings.Contains(err.Error(), "block (1,0,0), thread 3: fault b1 t3") {
+			t.Fatalf("rep %d: winner is not the first panic by (block, tid): %v", rep, err)
+		}
+		// 3 blocks x tids {3, 23, 43, 63} panic = 12 total, 11 suppressed.
+		if !strings.Contains(err.Error(), "(and 11 more thread panics)") {
+			t.Fatalf("rep %d: suppressed count missing or wrong: %v", rep, err)
+		}
+	}
+}
+
+// TestPanicReleasesBarrierWaiters: a thread panics while its peers sit at
+// a barrier; the launch must complete (peers released) and report the
+// panic, not hang and not report divergence.
+func TestPanicReleasesBarrierWaiters(t *testing.T) {
+	err := Launch(LaunchConfig{Grid: Dim3{X: 1}, BlockThreads: 32, SharedFloats: 1}, func(tc *TCtx) {
+		if tc.Tid == 7 {
+			panic("dead before the barrier")
+		}
+		tc.SyncThreads()
+	})
+	if err == nil {
+		t.Fatal("expected the panic to surface")
+	}
+	if !strings.Contains(err.Error(), "dead before the barrier") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if strings.Contains(err.Error(), "divergent") {
+		t.Fatalf("kernel panic misreported as divergence: %v", err)
+	}
+}
+
+// TestDivergentBarrierFailsLoudly is the doc contract of SyncThreads: a
+// kernel where a thread subset skips the barrier must fail with a
+// diagnostic naming the block and threads — not hang the launch forever.
+func TestDivergentBarrierFailsLoudly(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- Launch(LaunchConfig{Grid: Dim3{X: 2}, BlockThreads: 8, SharedFloats: 1}, func(tc *TCtx) {
+			if tc.Ctaid.X == 0 {
+				tc.SyncThreads() // block 0 syncs uniformly: no diagnostic
+				return
+			}
+			// Block 1 diverges: threads 0-3 sync, threads 4-7 exit.
+			if tc.Tid < 4 {
+				tc.SyncThreads()
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("divergent kernel returned nil error")
+		}
+		if !strings.Contains(err.Error(), "divergent __syncthreads in block (1,0,0)") {
+			t.Fatalf("diagnostic does not name the divergent block: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("divergent kernel hung instead of panicking with a diagnostic")
+	}
+}
+
+// TestDivergentBarrierLateWaiters covers the second divergence shape:
+// threads exit first with nobody waiting yet, then the remaining threads
+// reach a barrier that can now never be satisfied by the full block. The
+// completion-time check must catch it.
+func TestDivergentBarrierLateWaiters(t *testing.T) {
+	var exited int32
+	done := make(chan error, 1)
+	go func() {
+		done <- Launch(LaunchConfig{Grid: Dim3{X: 1}, BlockThreads: 8, SharedFloats: 1}, func(tc *TCtx) {
+			if tc.Tid >= 4 {
+				// Leave before anyone waits.
+				atomic.AddInt32(&exited, 1)
+				return
+			}
+			for atomic.LoadInt32(&exited) < 4 {
+				time.Sleep(time.Millisecond)
+			}
+			tc.SyncThreads()
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("divergent kernel returned nil error")
+		}
+		if !strings.Contains(err.Error(), "divergent __syncthreads") ||
+			!strings.Contains(err.Error(), "exited without reaching") {
+			t.Fatalf("unexpected diagnostic: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("divergent kernel hung instead of panicking with a diagnostic")
 	}
 }
 

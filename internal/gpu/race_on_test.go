@@ -1,0 +1,9 @@
+//go:build race
+
+package gpu
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-pinning tests use it: testing.AllocsPerRun counts every
+// malloc in the process, and the race runtime allocates on its own
+// schedule, so exact-zero pins need noise-tolerant handling under -race.
+const raceEnabled = true

@@ -182,7 +182,10 @@ func TestBackendDifferentialSampled(t *testing.T) {
 // backward-branch loop, and an FFMA chain with operand reuse. Mutations
 // rewrite only Stall/Yield/Reuse — the fields that steer the scheduler
 // but can never deadlock it — so every mutant is a legal program both
-// backends must time identically.
+// backends must time identically. Every global store address includes a
+// CTAID term: blocks run on concurrent workers under Sharded over one
+// shared memory backing, so overlapping cross-block stores — already UB
+// on real hardware — would be a literal data race here.
 var diffCorners = []struct {
 	name string
 	src  string
@@ -214,11 +217,14 @@ var diffCorners = []struct {
 .smem 256
 .params 16
 --:-:0:-:1  S2R R0, SR_TID.X;
+--:-:1:-:1  S2R R11, SR_CTAID.X;
 --:-:-:Y:6  MOV R1, c[0x0][0x160];
 01:-:-:Y:6  SHF.L R2, R0, 0x2;
+--:-:-:Y:6  MOV R12, 0x80;
+02:-:-:Y:6  IMAD R2, R11, R12, R2;
 --:-:-:Y:6  IADD3 R3, R1, R2, RZ;
 --:-:0:-:2  LDG R4, [R3];
---:-:-:Y:6  SHF.L R5, R2, 0x1;
+--:-:-:Y:6  SHF.L R5, R0, 0x3;
 01:1:-:-:2  STS [R5], R4;
 02:-:-:Y:5  BAR.SYNC;
 --:-:-:Y:6  MOV R6, 0xf8;
@@ -244,8 +250,11 @@ top:
 --:-:-:Y:6  IADD3 R1, R1, 0x1, RZ;
 --:-:-:Y:6  ISETP.LT P0, R1, 0x8;
 --:-:-:Y:5  @P0 BRA top;
+--:-:2:-:1  S2R R12, SR_CTAID.X;
 --:-:-:Y:6  MOV R5, c[0x0][0x160];
 --:-:-:Y:6  SHF.L R6, R0, 0x2;
+--:-:-:Y:6  MOV R8, 0x80;
+04:-:-:Y:6  IMAD R6, R12, R8, R6;
 --:-:-:Y:6  IADD3 R7, R5, R6, RZ;
 --:3:-:-:2  STG [R7], R4;
 --:-:-:Y:5  EXIT;

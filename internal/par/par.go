@@ -1,8 +1,10 @@
 // Package par holds the tiny data-parallel loop helpers shared by the CPU
-// compute kernels and the benchmark job runner in this repository.
+// compute kernels, the benchmark job runner, and the inference server in
+// this repository.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -47,11 +49,25 @@ func For(n, workers int, f func(i int)) {
 
 // ForErr runs f(i) for i in [0, n) across at most workers goroutines
 // (GOMAXPROCS when workers <= 0) with the same dynamic load balancing as
-// For. The first error wins: once any call fails, remaining indices are
-// drained without running f, in-flight calls finish, and ForErr returns
-// that first error after every worker has stopped. With no failures it
-// returns nil after every index has run exactly once.
+// For. The lowest-index error wins, deterministically: once any call
+// fails, remaining indices are drained without running f and in-flight
+// calls finish; because indices are claimed in increasing order, every
+// index below a failed one has already started, so after all workers stop
+// the smallest failed index is known and its error is returned — the same
+// error whatever the worker count or goroutine schedule, matching the
+// byte-determinism contract of the harnesses built on top. With no
+// failures it returns nil after every index has run exactly once.
 func ForErr(n, workers int, f func(i int) error) error {
+	return ForErrCtx(context.Background(), n, workers, f)
+}
+
+// ForErrCtx is ForErr with cooperative cancellation: when ctx is
+// cancelled, workers stop claiming new indices, in-flight calls finish,
+// and ForErrCtx returns ctx.Err() — unless some f call also failed, in
+// which case the lowest-index error still wins (cancellation is the
+// weakest outcome, reported only when no call failed). Shutdown paths use
+// this to drain a job queue instead of abandoning goroutines mid-call.
+func ForErrCtx(ctx context.Context, n, workers int, f func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -63,6 +79,9 @@ func ForErr(n, workers int, f func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := f(i); err != nil {
 				return err
 			}
@@ -70,25 +89,36 @@ func ForErr(n, workers int, f func(i int) error) error {
 		return nil
 	}
 	var (
-		next    int64
-		stopped int32
-		mu      sync.Mutex
-		first   error
-		wg      sync.WaitGroup
+		next     int64
+		stopped  int32
+		mu       sync.Mutex
+		firstIdx = -1
+		first    error
+		wg       sync.WaitGroup
 	)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for atomic.LoadInt32(&stopped) == 0 {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
 				if err := f(i); err != nil {
+					// Record the error keyed by index: indices are claimed
+					// in increasing order, so the smallest failed index is
+					// guaranteed to have started (and to report here)
+					// before any worker observes stopped.
 					mu.Lock()
-					if first == nil {
-						first = err
+					if firstIdx < 0 || i < firstIdx {
+						firstIdx, first = i, err
 					}
 					mu.Unlock()
 					atomic.StoreInt32(&stopped, 1)
@@ -98,5 +128,8 @@ func ForErr(n, workers int, f func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return first
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
 }

@@ -1,10 +1,12 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForRunsEachIndexOnce(t *testing.T) {
@@ -113,9 +115,107 @@ func TestForErrSequentialStopsImmediately(t *testing.T) {
 
 func TestForErrConcurrentErrors(t *testing.T) {
 	// Every call fails; exactly one error must be reported and the loop
-	// must terminate.
+	// must terminate — and determinism pins it to index 0's error.
 	err := ForErr(64, 8, func(i int) error { return fmt.Errorf("err %d", i) })
 	if err == nil {
 		t.Fatal("expected an error")
+	}
+	if err.Error() != "err 0" {
+		t.Fatalf("error = %v, want err 0 (lowest index wins)", err)
+	}
+}
+
+// TestForErrLowestIndexWins pins the documented determinism contract:
+// whatever the worker count or goroutine schedule, the returned error is
+// the one from the lowest failing index. The lowest failing call (index
+// 7) is deliberately made the *slowest* so that under concurrency a
+// higher-index error (23 or 61) always reaches the recording path first;
+// a first-to-the-mutex implementation returns those, a deterministic one
+// never does. Run under -race in CI.
+func TestForErrLowestIndexWins(t *testing.T) {
+	fail := map[int]bool{7: true, 23: true, 61: true}
+	for _, workers := range []int{1, 2, 4, 8, 16, 64} {
+		for rep := 0; rep < 10; rep++ {
+			var ran7 int64
+			err := ForErr(100, workers, func(i int) error {
+				if !fail[i] {
+					return nil
+				}
+				if i == 7 {
+					atomic.AddInt64(&ran7, 1)
+					time.Sleep(2 * time.Millisecond)
+				}
+				return fmt.Errorf("failed at %d", i)
+			})
+			if err == nil || err.Error() != "failed at 7" {
+				t.Fatalf("workers=%d rep=%d: error = %v, want failed at 7", workers, rep, err)
+			}
+			if ran7 != 1 {
+				t.Fatalf("workers=%d rep=%d: index 7 ran %d times", workers, rep, ran7)
+			}
+		}
+	}
+}
+
+func TestForErrCtxCancelDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started, finished int64
+	release := make(chan struct{})
+	go func() {
+		// Cancel once work is in flight, then let the in-flight calls run
+		// to completion: drain semantics, not abandonment.
+		for atomic.LoadInt64(&started) < 4 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+		close(release)
+	}()
+	err := ForErrCtx(ctx, 1000, 4, func(i int) error {
+		atomic.AddInt64(&started, 1)
+		<-release
+		atomic.AddInt64(&finished, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if s, f := atomic.LoadInt64(&started), atomic.LoadInt64(&finished); s != f {
+		t.Fatalf("started %d calls but only %d finished: in-flight work abandoned", s, f)
+	}
+	if s := atomic.LoadInt64(&started); s >= 1000 {
+		t.Fatalf("all %d indices ran despite cancellation", s)
+	}
+}
+
+func TestForErrCtxErrorBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sentinel := errors.New("boom")
+	err := ForErrCtx(ctx, 100, 4, func(i int) error {
+		if i == 3 {
+			cancel() // cancel and fail on the same call
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want the f error to win over cancellation", err)
+	}
+}
+
+func TestForErrCtxSequentialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int
+	err := ForErrCtx(ctx, 100, 1, func(i int) error {
+		calls++
+		if i == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if calls != 4 {
+		t.Fatalf("sequential run made %d calls after cancel at index 3, want 4", calls)
 	}
 }

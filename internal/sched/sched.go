@@ -1,0 +1,183 @@
+// Package sched is the reusable scheduling core shared by the benchmark
+// job runner (internal/bench) and the batched inference service
+// (internal/serve): a caching singleflight for deduplicating expensive
+// keyed computations, and a context-cancellable worker pool whose
+// shutdown drains queued tasks instead of abandoning them. Both were
+// factored out of internal/bench's job-graph machinery so the bench CLI
+// and the server consume one implementation.
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Flight is a caching singleflight: Do computes the value for a key at
+// most once per Flight, however many goroutines ask concurrently — the
+// first requester runs the function while later requesters of the same
+// key block on its entry — and the result (value or error) is cached for
+// every later call. The zero value is ready to use.
+type Flight[V any] struct {
+	mu sync.Mutex
+	m  map[string]*flightEntry[V]
+	// computes counts, per key, how many times fn actually ran — the
+	// observable the dedup tests assert on (every value must be 1).
+	computes map[string]int
+}
+
+// flightEntry is one singleflight cache slot: done is closed when the
+// owning goroutine has filled v/err.
+type flightEntry[V any] struct {
+	done chan struct{}
+	v    V
+	err  error
+}
+
+// Do returns the cached result for key, running fn at most once per key
+// per Flight. Concurrent callers of one key share a single fn call; fn
+// errors are cached like values (a failed key stays failed — callers that
+// need retry semantics use a fresh key or a fresh Flight).
+func (f *Flight[V]) Do(key string, fn func() (V, error)) (V, error) {
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = map[string]*flightEntry[V]{}
+		f.computes = map[string]int{}
+	}
+	if e, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		<-e.done
+		return e.v, e.err
+	}
+	e := &flightEntry[V]{done: make(chan struct{})}
+	f.m[key] = e
+	f.computes[key]++
+	f.mu.Unlock()
+
+	e.v, e.err = fn()
+	close(e.done)
+	return e.v, e.err
+}
+
+// Len reports how many distinct keys this Flight has computed or is
+// computing.
+func (f *Flight[V]) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.m)
+}
+
+// Values returns the successfully computed entries keyed by key. Entries
+// still being computed and entries that errored are skipped, so the
+// result is a consistent read-only snapshot of the warm cache.
+func (f *Flight[V]) Values() map[string]V {
+	f.mu.Lock()
+	entries := make(map[string]*flightEntry[V], len(f.m))
+	for k, e := range f.m {
+		entries[k] = e
+	}
+	f.mu.Unlock()
+	out := make(map[string]V, len(entries))
+	for k, e := range entries {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				out[k] = e.v
+			}
+		default:
+		}
+	}
+	return out
+}
+
+// ComputeCounts returns a copy of the per-key computation counts. Under
+// correct deduplication every count is exactly 1 however many goroutines
+// requested the key.
+func (f *Flight[V]) ComputeCounts() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int, len(f.computes))
+	for k, v := range f.computes {
+		out[k] = v
+	}
+	return out
+}
+
+// Pool is a bounded worker pool with drain-on-close semantics: Submit
+// enqueues a task for one of Workers goroutines, Close stops intake and
+// blocks until every queued and in-flight task has finished. Cancelling
+// the context passed to Start only stops intake (Submit fails fast);
+// tasks already accepted still run to completion — shutdown drains the
+// queue, it never abandons work a producer is waiting on.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+	ctx   context.Context
+
+	// mu guards closed and makes Submit's send and Close's channel close
+	// mutually exclusive: Submit holds the read lock across the send, so
+	// Close (write lock) cannot close the channel under an in-flight send.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// StartPool launches workers goroutines (GOMAXPROCS when <= 0) draining
+// a task queue of capacity queue (unbuffered when <= 0).
+func StartPool(ctx context.Context, workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{
+		tasks: make(chan func(), queue),
+		ctx:   ctx,
+	}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a task, blocking while the queue is full. It returns
+// false without running the task when the pool is closed or its context
+// is cancelled — the caller owns the rejected task's cleanup. A Submit
+// already blocked on a full queue when Close begins still wins: its task
+// is accepted and drained before Close returns.
+func (p *Pool) Submit(task func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case <-p.ctx.Done():
+		return false
+	default:
+	}
+	select {
+	case p.tasks <- task:
+		return true
+	case <-p.ctx.Done():
+		return false
+	}
+}
+
+// Close stops intake and waits for every accepted task to finish. Safe to
+// call more than once; Submits that arrive after Close are refused.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

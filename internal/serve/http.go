@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// inferRequest is the POST /v1/infer wire format.
+type inferRequest struct {
+	Device string    `json:"device"`
+	Layer  string    `json:"layer"`
+	Image  []float32 `json:"image"`
+}
+
+// inferResponse is its reply.
+type inferResponse struct {
+	Output []float32 `json:"output,omitempty"`
+	BatchN int       `json:"batch_n,omitempty"`
+	Filled int       `json:"filled,omitempty"`
+	Algo   string    `json:"algo,omitempty"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// Handler exposes the server over HTTP: POST /v1/infer with a JSON
+// body {device, layer, image} blocks until the request's batch has run
+// and returns the output image. Admission rejections map to 429,
+// shutdown to 503 — the status codes a load balancer retries on.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var in inferRequest
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+			writeJSON(w, http.StatusBadRequest, inferResponse{Error: err.Error()})
+			return
+		}
+		resp, err := s.Infer(&Request{Device: in.Device, Layer: in.Layer, Image: in.Image})
+		if err == nil {
+			err = resp.Err
+		}
+		if err != nil {
+			code := http.StatusBadRequest
+			switch {
+			case errors.Is(err, ErrOverloaded):
+				code = http.StatusTooManyRequests
+			case errors.Is(err, ErrClosed):
+				code = http.StatusServiceUnavailable
+			}
+			writeJSON(w, code, inferResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, inferResponse{
+			Output: resp.Output, BatchN: resp.BatchN, Filled: resp.Filled, Algo: string(resp.Algo),
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/tune"
+)
+
+func postInfer(t *testing.T, url string, body inferRequest) (int, inferResponse) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/infer", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out inferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestHTTPInfer: the JSON endpoint round-trips a request through the
+// batched server.
+func TestHTTPInfer(t *testing.T) {
+	model := DemoModel(23)
+	s, err := NewServer(Config{
+		Policy:   Policy{MaxWait: 2 * time.Millisecond},
+		Model:    model,
+		Selector: FixedSelector(tune.Choice{Algo: tune.AlgoFused}),
+		Exec:     &stubExec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec, _, _ := model.Layer("conv_a")
+	code, out := postInfer(t, ts.URL, inferRequest{
+		Device: gpu.RTX2070().Name, Layer: "conv_a", Image: make([]float32, spec.InLen()),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, out.Error)
+	}
+	if len(out.Output) != spec.OutLen() || out.BatchN%32 != 0 {
+		t.Fatalf("response: %d output floats in batch %d", len(out.Output), out.BatchN)
+	}
+
+	if code, _ := postInfer(t, ts.URL, inferRequest{Device: "nope", Layer: "conv_a"}); code != http.StatusBadRequest {
+		t.Fatalf("unknown device: status %d, want 400", code)
+	}
+
+	s.Close()
+	if code, _ := postInfer(t, ts.URL, inferRequest{
+		Device: gpu.RTX2070().Name, Layer: "conv_a", Image: make([]float32, spec.InLen()),
+	}); code != http.StatusServiceUnavailable {
+		t.Fatalf("after Close: status %d, want 503", code)
+	}
+}

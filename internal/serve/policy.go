@@ -1,0 +1,82 @@
+package serve
+
+import "time"
+
+// SweetSpots are the batch sizes the service coalesces toward — the
+// N ∈ {32, 64, 96, 128} sweet spots of the paper's evaluation, where the
+// fused kernel's bn=32 blocking wastes no lanes and the per-layer tuning
+// results apply directly.
+func SweetSpots() []int { return []int{32, 64, 96, 128} }
+
+// Policy is the batching and admission policy of one request queue. It
+// is deliberately a pure value with pure methods: the real-time server
+// (server.go) and the deterministic load-generator event loop
+// (loadgen.go) both decide batches by calling the same code here, so the
+// simulated report exercises exactly the policy the server runs.
+type Policy struct {
+	// MaxWait bounds how long a request may sit in its queue before the
+	// coalescer gives up on filling the ideal batch: when the oldest
+	// request's deadline (enqueue + MaxWait) expires, the largest fitting
+	// sweet spot is dispatched instead. Default 2ms.
+	MaxWait time.Duration
+	// QueueCap is the admission bound per (device, layer) queue: a
+	// request arriving at a full queue is rejected immediately
+	// (ErrOverloaded) rather than queued into unbounded latency.
+	// Default 4096.
+	QueueCap int
+}
+
+func (p Policy) maxWait() time.Duration {
+	if p.MaxWait <= 0 {
+		return 2 * time.Millisecond
+	}
+	return p.MaxWait
+}
+
+func (p Policy) queueCap() int {
+	if p.QueueCap <= 0 {
+		return 4096
+	}
+	return p.QueueCap
+}
+
+// Admit reports whether a new request may join a queue currently holding
+// queued requests.
+func (p Policy) Admit(queued int) bool { return queued < p.queueCap() }
+
+// Deadline is the dispatch deadline of a request enqueued at enq.
+func (p Policy) Deadline(enq time.Time) time.Time { return enq.Add(p.maxWait()) }
+
+// BatchSize decides whether the coalescer should cut a batch now, given
+// the queue depth and whether the oldest queued request's deadline has
+// expired. The returned n is the batch size to dispatch (a sweet spot);
+// when n exceeds the queue depth — only possible on deadline expiry with
+// fewer than 32 queued — the batch is dispatched partially filled,
+// padded with zero images up to n (the documented partial-batch
+// fallback: the fused kernel requires N%32==0, so 32 is the floor).
+//
+//   - A full 128 dispatches immediately, deadline or not.
+//   - On expiry, the largest sweet spot that the queue can fill wins;
+//     below 32 the batch goes out padded to 32 rather than holding the
+//     expired request any longer.
+//   - Otherwise the coalescer keeps waiting.
+func (p Policy) BatchSize(queued int, expired bool) (n int, ok bool) {
+	if queued <= 0 {
+		return 0, false
+	}
+	spots := SweetSpots()
+	max := spots[len(spots)-1]
+	if queued >= max {
+		return max, true
+	}
+	if !expired {
+		return 0, false
+	}
+	best := spots[0] // below the smallest spot: dispatch padded
+	for _, s := range spots {
+		if s <= queued {
+			best = s
+		}
+	}
+	return best, true
+}

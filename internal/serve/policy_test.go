@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPolicyBatchSize pins the coalescing decision table: full 128s cut
+// immediately, expiry cuts the largest fitting sweet spot, sub-32
+// expiries pad up to the kernel's batch floor, and nothing dispatches
+// early without an expired deadline.
+func TestPolicyBatchSize(t *testing.T) {
+	p := Policy{}
+	cases := []struct {
+		queued  int
+		expired bool
+		n       int
+		ok      bool
+	}{
+		{0, false, 0, false},
+		{0, true, 0, false},
+		{1, false, 0, false},
+		{31, false, 0, false},
+		{127, false, 0, false},
+		{128, false, 128, true},
+		{300, false, 128, true},
+		{1, true, 32, true}, // padded partial batch
+		{31, true, 32, true},
+		{32, true, 32, true},
+		{63, true, 32, true},
+		{64, true, 64, true},
+		{95, true, 64, true},
+		{96, true, 96, true},
+		{127, true, 96, true},
+		{128, true, 128, true},
+	}
+	for _, c := range cases {
+		n, ok := p.BatchSize(c.queued, c.expired)
+		if n != c.n || ok != c.ok {
+			t.Errorf("BatchSize(%d, %v) = (%d, %v), want (%d, %v)", c.queued, c.expired, n, ok, c.n, c.ok)
+		}
+	}
+}
+
+// TestPolicyDefaults: zero values get the documented defaults, explicit
+// values win.
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}
+	if got := p.maxWait(); got != 2*time.Millisecond {
+		t.Errorf("default MaxWait = %v", got)
+	}
+	if !p.Admit(4095) || p.Admit(4096) {
+		t.Error("default QueueCap is not 4096")
+	}
+	p = Policy{MaxWait: time.Second, QueueCap: 2}
+	enq := time.Unix(100, 0)
+	if got := p.Deadline(enq); got != enq.Add(time.Second) {
+		t.Errorf("Deadline = %v", got)
+	}
+	if !p.Admit(1) || p.Admit(2) {
+		t.Error("explicit QueueCap ignored")
+	}
+}
+
+// TestSweetSpotsPinned: the batching targets are the paper's evaluated
+// batch sizes, ascending.
+func TestSweetSpotsPinned(t *testing.T) {
+	got := SweetSpots()
+	want := []int{32, 64, 96, 128}
+	if len(got) != len(want) {
+		t.Fatalf("SweetSpots() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SweetSpots() = %v, want %v", got, want)
+		}
+	}
+}
